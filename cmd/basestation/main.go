@@ -1,0 +1,183 @@
+// Command basestation runs a MIDAS extension base with an embedded lookup
+// service and movement database over TCP. Mobile nodes (cmd/node) register
+// their adaptation services at the lookup endpoint; the base adapts them with
+// the configured extension set and keeps the leases alive.
+//
+// Usage:
+//
+//	basestation -addr 127.0.0.1:7000 -store movements.log -keyfile base.pub \
+//	    -ext hwmonitor -ext 'accesscontrol:allow=operator'
+//
+// The signing public key is written to -keyfile; nodes pass it via -trustkey.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ext"
+	"repro/internal/registry"
+	"repro/internal/sign"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+type extFlags []string
+
+func (e *extFlags) String() string { return strings.Join(*e, ",") }
+func (e *extFlags) Set(v string) error {
+	*e = append(*e, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7000", "TCP listen address (lookup + base)")
+		name      = flag.String("name", "hall-1", "environment name and signer identity")
+		storePath = flag.String("store", "", "movement database journal (empty = in-memory)")
+		keyFile   = flag.String("keyfile", "", "write the signing public key (hex) to this file")
+		leaseDur  = flag.Duration("lease", 10*time.Second, "extension lease duration")
+		exts      extFlags
+	)
+	flag.Var(&exts, "ext", "extension preset, repeatable: hwmonitor | logger | accesscontrol:allow=a,b")
+	flag.Parse()
+
+	signer, err := sign.NewSigner(*name)
+	if err != nil {
+		return err
+	}
+	if *keyFile != "" {
+		if err := os.WriteFile(*keyFile, []byte(hex.EncodeToString(signer.PublicKey())+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	var db *store.Store
+	if *storePath != "" {
+		db, err = store.Open(*storePath)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+	} else {
+		db = store.NewMemory()
+	}
+
+	mux := transport.NewMux()
+	caller := transport.NewTCPCaller()
+	defer caller.Close()
+
+	lookup := registry.NewLookup(clock.Real{})
+	lookup.Grantor().Start(time.Second)
+	defer lookup.Grantor().Stop()
+	lookupSrv := registry.NewServer(*name+"/lookup", lookup, mux, caller, clock.Real{})
+	defer lookupSrv.Close()
+
+	base, err := core.NewBase(core.BaseConfig{
+		Name:     *name,
+		Addr:     *addr,
+		Caller:   caller,
+		Signer:   signer,
+		Store:    db,
+		LeaseDur: *leaseDur,
+	})
+	if err != nil {
+		return err
+	}
+	defer base.Close()
+	base.OnDepart(func(node string) { log.Printf("node departed: %s", node) })
+	base.ServeOn(mux)
+
+	for i, spec := range exts {
+		e, err := presetExtension(*name, i, spec)
+		if err != nil {
+			return err
+		}
+		if err := base.AddExtension(e); err != nil {
+			return err
+		}
+		log.Printf("extension in policy set: %s", e.Name)
+	}
+
+	srv, err := transport.ServeTCP(*addr, mux)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("base station %s serving on %s (signer %s)", *name, srv.Addr(), signer.Fingerprint())
+
+	if _, err := base.WatchLookup(&registry.Client{Caller: caller, Addr: srv.Addr()}, 24*time.Hour); err != nil {
+		return err
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	log.Printf("shutting down; activity log:")
+	for _, a := range base.Activity() {
+		log.Printf("  %d %-10s node=%s ext=%s %s", a.AtMillis, a.Event, a.Node, a.Ext, a.Detail)
+	}
+	return nil
+}
+
+// presetExtension parses "name" or "name:key=val,key=val" extension specs.
+func presetExtension(hall string, idx int, spec string) (core.Extension, error) {
+	kind, cfgSrc, _ := strings.Cut(spec, ":")
+	cfg := make(map[string]string)
+	if cfgSrc != "" {
+		for _, kv := range strings.Split(cfgSrc, ";") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return core.Extension{}, fmt.Errorf("bad config %q in -ext %q", kv, spec)
+			}
+			cfg[k] = v
+		}
+	}
+	e := core.Extension{
+		ID:      fmt.Sprintf("%s/%s-%d", hall, kind, idx),
+		Name:    kind,
+		Version: 1,
+	}
+	switch kind {
+	case ext.BMonitor:
+		if cfg["mode"] == "" {
+			cfg["mode"] = "sync"
+		}
+		e.Advices = []core.AdviceSpec{{
+			Name: "monitor", Kind: core.KindCallBefore, Pattern: "Motor.*(..)",
+			Builtin: ext.BMonitor, Config: cfg,
+		}}
+		e.Caps = []string{"net", "clock"}
+	case ext.BLogger:
+		e.Advices = []core.AdviceSpec{{
+			Name: "log", Kind: core.KindCallBefore, Pattern: "*.*(..)",
+			Builtin: ext.BLogger, Config: cfg,
+		}}
+		e.Caps = []string{"log"}
+	case ext.BAccessControl:
+		e.Advices = []core.AdviceSpec{{
+			Name: "authorize", Kind: core.KindCallBefore, Pattern: "*.*(..)",
+			Builtin: ext.BAccessControl, Config: cfg,
+		}}
+		e.Requires = []string{ext.SessionBundleName}
+		e.Caps = []string{"session"}
+	default:
+		return core.Extension{}, fmt.Errorf("unknown extension preset %q", kind)
+	}
+	return e, nil
+}

@@ -1,0 +1,100 @@
+// Command lvmasm is the LVM toolchain front end: it assembles, verifies,
+// disassembles and runs LVM programs — handy when authoring mobile extension
+// advice or robot application code.
+//
+// Usage:
+//
+//	lvmasm check app.lvm                  # assemble + verify
+//	lvmasm dis app.lvm                    # assemble, then disassemble (round trip)
+//	lvmasm run app.lvm Class.method 1 2   # run a method with int args
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/jit"
+	"repro/internal/lvm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	steps := flag.Int64("steps", lvm.DefaultMaxSteps, "execution step budget")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		return fmt.Errorf("usage: lvmasm <check|dis|run> <file.lvm> [Class.method args...]")
+	}
+	src, err := os.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	prog, err := lvm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if err := lvm.VerifyProgram(prog); err != nil {
+		return err
+	}
+
+	switch args[0] {
+	case "check":
+		methods := 0
+		prog.EachMethod(func(*lvm.Method) { methods++ })
+		fmt.Printf("ok: %d classes, %d methods, verification passed\n", len(prog.Classes), methods)
+	case "dis":
+		fmt.Print(lvm.Disassemble(prog))
+	case "run":
+		if len(args) < 3 {
+			return fmt.Errorf("run needs Class.method")
+		}
+		cls, method, ok := strings.Cut(args[2], ".")
+		if !ok {
+			return fmt.Errorf("want Class.method, got %q", args[2])
+		}
+		if prog.Method(cls, method) == nil {
+			return fmt.Errorf("no method %s.%s", cls, method)
+		}
+		var callArgs []lvm.Value
+		for _, a := range args[3:] {
+			if i, err := strconv.ParseInt(a, 10, 64); err == nil {
+				callArgs = append(callArgs, lvm.Int(i))
+			} else {
+				callArgs = append(callArgs, lvm.Str(a))
+			}
+		}
+		m := jit.NewMachine(prog, nil, hostEnv())
+		m.MaxSteps = *steps
+		v, err := m.Call(cls, method, nil, callArgs...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=> %s (%s)\n", v, v.K)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+	return nil
+}
+
+// hostEnv provides a minimal host for standalone runs: log and clock only.
+func hostEnv() lvm.HostMap {
+	return lvm.HostMap{
+		"log.info": func(args []lvm.Value) (lvm.Value, error) {
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = a.String()
+			}
+			fmt.Fprintln(os.Stderr, strings.Join(parts, " "))
+			return lvm.Nil(), nil
+		},
+	}
+}

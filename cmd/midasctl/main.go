@@ -1,0 +1,110 @@
+// Command midasctl inspects and manages a running MIDAS node or base
+// station over TCP: list installed extensions, revoke one, query the lookup
+// service, or dump a base's movement database.
+//
+// Usage:
+//
+//	midasctl -node 127.0.0.1:7101 list
+//	midasctl -node 127.0.0.1:7101 revoke hw-monitoring
+//	midasctl -lookup 127.0.0.1:7000 services
+//	midasctl -base 127.0.0.1:7000 records [robot]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		nodeAddr   = flag.String("node", "", "adaptation service address")
+		lookupAddr = flag.String("lookup", "", "lookup service address")
+		baseAddr   = flag.String("base", "", "base station address")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("need a subcommand: list | revoke <name> | services | records [robot]")
+	}
+
+	caller := transport.NewTCPCaller()
+	defer caller.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	switch args[0] {
+	case "list":
+		if *nodeAddr == "" {
+			return fmt.Errorf("list needs -node")
+		}
+		resp, err := transport.Invoke[core.EmptyResp, core.ListResp](ctx, caller, *nodeAddr, core.MethodList, core.EmptyResp{})
+		if err != nil {
+			return err
+		}
+		if len(resp.Extensions) == 0 {
+			fmt.Println("no extensions installed")
+			return nil
+		}
+		for _, e := range resp.Extensions {
+			tag := ""
+			if e.System {
+				tag = " (implicit)"
+			}
+			fmt.Printf("%-24s v%-3d from %s%s\n", e.Name, e.Version, e.BaseAddr, tag)
+		}
+	case "revoke":
+		if *nodeAddr == "" || len(args) < 2 {
+			return fmt.Errorf("revoke needs -node and an extension name")
+		}
+		if _, err := transport.Invoke[core.RevokeReq, core.EmptyResp](ctx, caller, *nodeAddr, core.MethodRevoke, core.RevokeReq{Name: args[1]}); err != nil {
+			return err
+		}
+		fmt.Printf("revoked %s\n", args[1])
+	case "services":
+		if *lookupAddr == "" {
+			return fmt.Errorf("services needs -lookup")
+		}
+		client := &registry.Client{Caller: caller, Addr: *lookupAddr}
+		items, err := client.Find(registry.Template{})
+		if err != nil {
+			return err
+		}
+		for _, it := range items {
+			fmt.Printf("%-16s %-20s at %s %v\n", it.ID, it.Name, it.Addr, it.Attrs)
+		}
+		fmt.Printf("%d services\n", len(items))
+	case "records":
+		if *baseAddr == "" {
+			return fmt.Errorf("records needs -base")
+		}
+		filter := store.Filter{}
+		if len(args) > 1 {
+			filter.Robot = args[1]
+		}
+		resp, err := transport.Invoke[core.QueryReq, core.QueryResp](ctx, caller, *baseAddr, core.MethodBaseQuery, core.QueryReq{Filter: filter})
+		if err != nil {
+			return err
+		}
+		for _, r := range resp.Records {
+			fmt.Printf("%6d  %-14s %-10s %-12s %6d  at %d\n", r.Seq, r.Robot, r.Device, r.Action, r.Value, r.AtMillis)
+		}
+		fmt.Printf("%d records\n", len(resp.Records))
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command node runs a mobile plotter node: the plotter application, its
+// exported drawing service and the MIDAS adaptation service, all over TCP.
+// On startup it registers at a base station's lookup service; the base then
+// adapts it with the hall's extensions. Ctrl-C simulates leaving the hall
+// (the registration and extension leases lapse).
+//
+// Usage:
+//
+//	node -name plotter-1 -addr 127.0.0.1:0 -lookup 127.0.0.1:7000 -trustkey base.pub
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ext"
+	"repro/internal/plotter"
+	"repro/internal/registry"
+	"repro/internal/sandbox"
+	"repro/internal/sign"
+	"repro/internal/store"
+	"repro/internal/svc"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/weave"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		name     = flag.String("name", "plotter-1", "node name")
+		addr     = flag.String("addr", "127.0.0.1:0", "TCP listen address")
+		lookup   = flag.String("lookup", "127.0.0.1:7000", "lookup service address")
+		trustKey = flag.String("trustkey", "", "file with a trusted signer public key (hex)")
+		kvPath   = flag.String("kv", "", "node KV journal for persistence extensions (empty = in-memory)")
+	)
+	flag.Parse()
+
+	weaver := weave.New()
+	canvas := plotter.NewCanvas(40, 20)
+	plot, err := plotter.New(weaver, canvas)
+	if err != nil {
+		return err
+	}
+	services := svc.NewRegistry(weaver)
+	plot.RegisterService(services)
+
+	trust := sign.NewTrustStore()
+	if *trustKey != "" {
+		raw, err := os.ReadFile(*trustKey)
+		if err != nil {
+			return err
+		}
+		key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil {
+			return fmt.Errorf("bad trust key: %w", err)
+		}
+		trust.Trust("base", key)
+		log.Printf("trusting signer %s", sign.Fingerprint(key))
+	} else {
+		log.Printf("warning: no -trustkey; all extensions will be rejected")
+	}
+
+	var kv *store.KV
+	if *kvPath != "" {
+		kv, err = store.OpenKV(*kvPath)
+		if err != nil {
+			return err
+		}
+		defer kv.Close()
+	} else {
+		kv = store.NewKV()
+	}
+
+	caller := transport.NewTCPCaller()
+	defer caller.Close()
+	builtins := core.NewBuiltins()
+	ext.RegisterAll(builtins)
+	host := ext.NewNodeHost(ext.NodeHostConfig{
+		Caller: caller,
+		KV:     kv,
+		Clock:  clock.Real{},
+		Log:    func(s string) { log.Printf("[ext] %s", s) },
+	})
+
+	mux := transport.NewMux()
+	services.ServeOn(mux)
+	srv, err := transport.ServeTCP(*addr, mux)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	receiver, err := core.NewReceiver(core.ReceiverConfig{
+		NodeName: *name,
+		Addr:     srv.Addr(),
+		Weaver:   weaver,
+		Trust:    trust,
+		Policy:   sandbox.AllowAll(),
+		Host:     host,
+		Builtins: builtins,
+		Extras:   map[string]any{ext.ExtraTxnManager: txn.NewManager(kv)},
+	})
+	if err != nil {
+		return err
+	}
+	receiver.ServeOn(mux)
+	receiver.Grantor().Start(time.Second)
+	defer receiver.Grantor().Stop()
+
+	log.Printf("node %s serving on %s", *name, srv.Addr())
+
+	client := &registry.Client{Caller: caller, Addr: *lookup}
+	stopAdv, err := receiver.Advertise(client, 30*time.Second, map[string]string{"kind": "plotter"})
+	if err != nil {
+		return fmt.Errorf("advertise at %s: %w", *lookup, err)
+	}
+	defer stopAdv()
+	log.Printf("advertised adaptation service at lookup %s", *lookup)
+
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			var names []string
+			for _, i := range receiver.Installed() {
+				names = append(names, fmt.Sprintf("%s@v%d", i.Name, i.Version))
+			}
+			x, y := plot.Position()
+			log.Printf("pen at (%d,%d), %d cells inked, extensions: %v", x, y, canvas.Count(), names)
+		case <-sigCh:
+			log.Printf("leaving the hall; final canvas:\n%s", canvas.Render())
+			return nil
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package aop
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParsePatternNeverPanics feeds arbitrary strings to the pattern parser:
+// crosscut patterns arrive from the network inside extension descriptors, so
+// the parser must fail gracefully on garbage.
+func TestParsePatternNeverPanics(t *testing.T) {
+	check := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("ParsePattern(%q) panicked: %v", src, r)
+				ok = false
+			}
+		}()
+		p, err := ParsePattern(src)
+		if err == nil && p == nil {
+			return false
+		}
+		return true
+	}
+	// Random strings.
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial shapes.
+	for _, src := range []string{
+		"(", ")", "((", "))", "(.)", "..", "...", "*", "**", ".",
+		"a.b(", "a.b)", "a.b(,,,)", "a.b(..,..)", " a . b ( .. ) ",
+		"ret ret a.b()", "\x00.\x00()", "a.b(c", "void  *.*(..)",
+	} {
+		check(src)
+	}
+}
+
+// TestParsedPatternsMatchSafely checks that any successfully parsed pattern
+// can be matched against arbitrary signatures without panicking.
+func TestParsedPatternsMatchSafely(t *testing.T) {
+	if err := quick.Check(func(src, class, method, ret string, params []string) bool {
+		p, err := ParsePattern(src)
+		if err != nil {
+			return true
+		}
+		sig := Signature{Class: class, Method: method, Return: ret, Params: params}
+		_ = p.MatchMethod(sig)
+		_ = p.MatchField(class, method)
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCanonicalPatternsRoundTrip verifies that every pattern used in the
+// documentation and built-in extensions parses and keeps its source.
+func TestCanonicalPatternsRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"void *.send*(bytes, ..)",
+		"*.*(..)",
+		"Motor.*(..)",
+		"Motor.rotate(int)",
+		"Motor.pos",
+		"*.pos",
+		"int Math.sumTo(..)",
+	} {
+		p, err := ParsePattern(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if p.String() != src {
+			t.Errorf("String() = %q, want %q", p.String(), src)
+		}
+	}
+}

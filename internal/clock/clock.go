@@ -1,0 +1,110 @@
+// Package clock abstracts time so that lease expiry, mobility simulation and
+// revocation tests can run against a deterministic manual clock while
+// production code uses the real one.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the platform.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Manual is a deterministic Clock advanced explicitly by tests. The zero
+// value is not usable; construct it with NewManual.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []waiter
+}
+
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewManual returns a Manual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// After implements Clock. The returned channel fires when Advance moves the
+// clock past the deadline.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := m.now.Add(d)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, waiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing any timers whose deadline has
+// been reached.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var remaining []waiter
+	var fired []waiter
+	for _, w := range m.waiters {
+		if !w.at.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	m.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// Set jumps the clock to t (which must not move backwards) and fires due
+// timers.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	if t.Before(m.now) {
+		m.mu.Unlock()
+		return
+	}
+	d := t.Sub(m.now)
+	m.mu.Unlock()
+	m.Advance(d)
+}
+
+// PendingTimers reports how many After timers have not yet fired; useful for
+// deterministic test synchronisation.
+func (m *Manual) PendingTimers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}

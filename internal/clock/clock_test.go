@@ -1,0 +1,105 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualNowAndAdvance(t *testing.T) {
+	start := time.Unix(100, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v", m.Now())
+	}
+	m.Advance(5 * time.Second)
+	if !m.Now().Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("Now after advance = %v", m.Now())
+	}
+}
+
+func TestManualAfterFires(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before deadline")
+	default:
+	}
+	if m.PendingTimers() != 1 {
+		t.Fatalf("PendingTimers = %d", m.PendingTimers())
+	}
+	m.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(time.Unix(10, 0)) {
+			t.Errorf("fired at %v", at)
+		}
+	default:
+		t.Fatal("timer did not fire")
+	}
+	if m.PendingTimers() != 0 {
+		t.Errorf("PendingTimers = %d", m.PendingTimers())
+	}
+}
+
+func TestManualAfterZeroFiresImmediately(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	select {
+	case <-m.After(0):
+	default:
+		t.Fatal("zero-duration timer pending")
+	}
+}
+
+func TestManualSet(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	ch := m.After(30 * time.Second)
+	m.Set(time.Unix(60, 0))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Set did not fire timer")
+	}
+	// Set never moves backwards.
+	m.Set(time.Unix(10, 0))
+	if !m.Now().Equal(time.Unix(60, 0)) {
+		t.Errorf("Now = %v", m.Now())
+	}
+}
+
+func TestManualMultipleWaiters(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	early := m.After(time.Second)
+	late := m.After(time.Minute)
+	m.Advance(2 * time.Second)
+	select {
+	case <-early:
+	default:
+		t.Fatal("early timer pending")
+	}
+	select {
+	case <-late:
+		t.Fatal("late timer fired")
+	default:
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Error("Real.Now is far in the past")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Error("Real.After did not fire")
+	}
+}

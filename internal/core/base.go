@@ -1,0 +1,498 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/lease"
+	"repro/internal/registry"
+	"repro/internal/sign"
+	"repro/internal/store"
+	"repro/internal/transport"
+
+	"repro/internal/event"
+)
+
+// RPC method names served by a base.
+const (
+	MethodBasePost      = "base.post"      // monitoring extensions post records here
+	MethodBaseQuery     = "base.query"     // clients query the movement database
+	MethodBaseOnService = "base.onservice" // lookup watcher callback
+	MethodBaseRoam      = "base.roam"      // roaming hint from a neighbour base
+)
+
+// Wire types for the base RPC surface.
+type (
+	// PostReq delivers one monitoring record.
+	PostReq struct {
+		Record store.Record
+	}
+	// RoamReq hints that a node departed a neighbour's area.
+	RoamReq struct {
+		NodeID   string
+		NodeAddr string
+	}
+	// QueryReq filters the base's movement database.
+	QueryReq struct {
+		Filter store.Filter
+	}
+	// QueryResp returns matching records.
+	QueryResp struct {
+		Records []store.Record
+	}
+)
+
+// BaseConfig assembles an extension base.
+type BaseConfig struct {
+	Name   string
+	Addr   string // transport address the base serves on
+	Caller transport.Caller
+	Signer *sign.Signer
+	Clock  clock.Clock
+	Store  *store.Store // optional sink for monitoring records
+
+	// LeaseDur is the lease granted per pushed extension (default 10s);
+	// RenewFraction controls when renewals fire (default 0.5); RenewRetries
+	// retries failed renewals within the lease before declaring the node
+	// departed (for lossy wireless links; default 0).
+	LeaseDur      time.Duration
+	RenewFraction float64
+	RenewRetries  int
+	// CallTimeout bounds each RPC (default 2s).
+	CallTimeout time.Duration
+}
+
+// BaseActivity is one entry of the base's distribution log (§3.2: each base
+// keeps track of what nodes were adapted, at what point in time).
+type BaseActivity struct {
+	AtMillis int64
+	Event    string // "adapt", "push", "depart", "revoke", "roam-hint", "roam-adopt"
+	Node     string
+	Ext      string
+	Detail   string
+}
+
+type adaptedNode struct {
+	id       string
+	addr     string
+	renewers map[string]*lease.Renewer // by extension name
+}
+
+// Base is a MIDAS extension base: it holds the extension set of one
+// environment, adapts arriving nodes, keeps the distributed extensions alive
+// and notices departures through failing renewals.
+type Base struct {
+	cfg BaseConfig
+
+	mu         sync.Mutex
+	extensions []Extension
+	adapted    map[string]*adaptedNode // by node addr
+	neighbors  []string
+	activity   []BaseActivity
+
+	departures chan string
+	onDepart   func(nodeAddr string)
+}
+
+// NewBase builds a base.
+func NewBase(cfg BaseConfig) (*Base, error) {
+	if cfg.Caller == nil || cfg.Signer == nil {
+		return nil, fmt.Errorf("core: base needs Caller and Signer")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.LeaseDur <= 0 {
+		cfg.LeaseDur = 10 * time.Second
+	}
+	if cfg.RenewFraction <= 0 || cfg.RenewFraction >= 1 {
+		cfg.RenewFraction = 0.5
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	return &Base{
+		cfg:     cfg,
+		adapted: make(map[string]*adaptedNode),
+	}, nil
+}
+
+// Signer returns the base's signing identity (receivers must trust its
+// public key).
+func (b *Base) Signer() *sign.Signer { return b.cfg.Signer }
+
+// OnDepart registers a callback invoked when a node's lease renewals fail.
+func (b *Base) OnDepart(fn func(nodeAddr string)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onDepart = fn
+}
+
+// AddNeighbor registers a neighbour base that receives roaming hints when
+// nodes depart this base's area.
+func (b *Base) AddNeighbor(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.neighbors = append(b.neighbors, addr)
+}
+
+// AddExtension adds ext to the base's policy set and pushes it to every
+// currently adapted node.
+func (b *Base) AddExtension(ext Extension) error {
+	if err := ext.Validate(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	for _, e := range b.extensions {
+		if e.Name == ext.Name {
+			b.mu.Unlock()
+			return fmt.Errorf("core: base already has extension %q (use ReplaceExtension)", ext.Name)
+		}
+	}
+	b.extensions = append(b.extensions, ext)
+	nodes := b.adaptedNodesLocked()
+	b.mu.Unlock()
+
+	for _, n := range nodes {
+		if err := b.pushExtension(n, ext); err != nil {
+			b.log("push", n.id, ext.Name, "failed: "+err.Error())
+		}
+	}
+	return nil
+}
+
+// ReplaceExtension swaps in a newer version of an existing extension and
+// pushes it to every adapted node (policy evolution, §3.2).
+func (b *Base) ReplaceExtension(ext Extension) error {
+	if err := ext.Validate(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	found := false
+	for i, e := range b.extensions {
+		if e.Name == ext.Name {
+			if ext.Version <= e.Version {
+				b.mu.Unlock()
+				return fmt.Errorf("core: replacement of %q needs version > %d", ext.Name, e.Version)
+			}
+			b.extensions[i] = ext
+			found = true
+			break
+		}
+	}
+	if !found {
+		b.mu.Unlock()
+		return fmt.Errorf("core: base has no extension %q", ext.Name)
+	}
+	nodes := b.adaptedNodesLocked()
+	b.mu.Unlock()
+
+	for _, n := range nodes {
+		if err := b.pushExtension(n, ext); err != nil {
+			b.log("push", n.id, ext.Name, "failed: "+err.Error())
+		}
+	}
+	return nil
+}
+
+// RemoveExtension drops ext from the policy set and revokes it from all
+// adapted nodes.
+func (b *Base) RemoveExtension(name string) error {
+	b.mu.Lock()
+	idx := -1
+	for i, e := range b.extensions {
+		if e.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		b.mu.Unlock()
+		return fmt.Errorf("core: base has no extension %q", name)
+	}
+	b.extensions = append(b.extensions[:idx], b.extensions[idx+1:]...)
+	nodes := b.adaptedNodesLocked()
+	b.mu.Unlock()
+
+	for _, n := range nodes {
+		b.stopRenewer(n.addr, name)
+		ctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
+		_, err := transport.Invoke[RevokeReq, EmptyResp](ctx, b.cfg.Caller, n.addr, MethodRevoke, RevokeReq{Name: name})
+		cancel()
+		detail := ""
+		if err != nil {
+			detail = "failed: " + err.Error()
+		}
+		b.log("revoke", n.id, name, detail)
+	}
+	return nil
+}
+
+// Extensions lists the base's policy set names in order.
+func (b *Base) Extensions() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, len(b.extensions))
+	for i, e := range b.extensions {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// AdaptNode pushes every extension of the policy set to the node's
+// adaptation service and starts keeping the leases alive.
+func (b *Base) AdaptNode(nodeID, nodeAddr string) error {
+	b.mu.Lock()
+	if _, dup := b.adapted[nodeAddr]; dup {
+		b.mu.Unlock()
+		return nil // already adapted
+	}
+	n := &adaptedNode{id: nodeID, addr: nodeAddr, renewers: make(map[string]*lease.Renewer)}
+	b.adapted[nodeAddr] = n
+	exts := append([]Extension(nil), b.extensions...)
+	b.mu.Unlock()
+
+	b.log("adapt", nodeID, "", fmt.Sprintf("%d extensions", len(exts)))
+	var firstErr error
+	for _, ext := range exts {
+		if err := b.pushExtension(n, ext); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		// Nothing woven anywhere reachable: forget the node so a later
+		// attempt can retry cleanly.
+		b.mu.Lock()
+		empty := len(n.renewers) == 0
+		if empty {
+			delete(b.adapted, nodeAddr)
+		}
+		b.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Adapted lists the addresses of currently adapted nodes, sorted.
+func (b *Base) Adapted() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.adapted))
+	for addr := range b.adapted {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Activity returns the distribution log.
+func (b *Base) Activity() []BaseActivity {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BaseActivity, len(b.activity))
+	copy(out, b.activity)
+	return out
+}
+
+// Release stops renewing all leases held at the node; the receiver will
+// expire and withdraw the extensions on its own (§3.2's revocation path).
+func (b *Base) Release(nodeAddr string) {
+	b.mu.Lock()
+	n, ok := b.adapted[nodeAddr]
+	if ok {
+		delete(b.adapted, nodeAddr)
+	}
+	var renewers []*lease.Renewer
+	if ok {
+		for _, r := range n.renewers {
+			renewers = append(renewers, r)
+		}
+	}
+	b.mu.Unlock()
+	for _, r := range renewers {
+		r.Stop()
+	}
+	if ok {
+		b.log("depart", n.id, "", "released")
+	}
+}
+
+// Close releases every adapted node.
+func (b *Base) Close() {
+	for _, addr := range b.Adapted() {
+		b.Release(addr)
+	}
+}
+
+func (b *Base) pushExtension(n *adaptedNode, ext Extension) error {
+	signed, err := Sign(b.cfg.Signer, ext)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
+	resp, err := transport.Invoke[InstallReq, InstallResp](ctx, b.cfg.Caller, n.addr, MethodInstall, InstallReq{
+		Signed:    signed,
+		BaseAddr:  b.cfg.Addr,
+		DurMillis: b.cfg.LeaseDur.Milliseconds(),
+	})
+	cancel()
+	if err != nil {
+		return fmt.Errorf("core: push %q to %s: %w", ext.Name, n.addr, err)
+	}
+	b.log("push", n.id, ext.Name, "")
+
+	// Keep the extension alive until the node leaves our space.
+	renewer := lease.NewRenewer(b.cfg.Clock,
+		lease.Lease{ID: lease.ID(resp.LeaseID), Duration: b.cfg.LeaseDur},
+		func(id lease.ID, d time.Duration) (lease.Lease, error) {
+			rctx, rcancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
+			defer rcancel()
+			_, err := transport.Invoke[RenewExtReq, EmptyResp](rctx, b.cfg.Caller, n.addr, MethodRenewE, RenewExtReq{
+				LeaseID:   string(id),
+				DurMillis: d.Milliseconds(),
+			})
+			if err != nil {
+				return lease.Lease{}, err
+			}
+			return lease.Lease{ID: id, Duration: d}, nil
+		},
+		b.cfg.RenewFraction,
+		func(error) {
+			// Renewal failed: the node is out of reach. Handle departure
+			// asynchronously (we are on the renewer's own goroutine).
+			go b.nodeDeparted(n.addr)
+		})
+
+	renewer.SetRetries(b.cfg.RenewRetries)
+
+	b.mu.Lock()
+	if old, dup := n.renewers[ext.Name]; dup {
+		go old.Stop()
+	}
+	n.renewers[ext.Name] = renewer
+	b.mu.Unlock()
+	renewer.Start()
+	return nil
+}
+
+func (b *Base) nodeDeparted(nodeAddr string) {
+	b.mu.Lock()
+	n, ok := b.adapted[nodeAddr]
+	if ok {
+		delete(b.adapted, nodeAddr)
+	}
+	neighbors := append([]string(nil), b.neighbors...)
+	cb := b.onDepart
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, r := range n.renewers {
+		r.Stop()
+	}
+	b.log("depart", n.id, "", "lease renewal failed")
+
+	// Simple roaming: hint neighbour bases that the node may have entered
+	// their area.
+	for _, nb := range neighbors {
+		ctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
+		_, err := transport.Invoke[RoamReq, EmptyResp](ctx, b.cfg.Caller, nb, MethodBaseRoam,
+			RoamReq{NodeID: n.id, NodeAddr: n.addr})
+		cancel()
+		detail := nb
+		if err != nil {
+			detail = nb + " failed: " + err.Error()
+		}
+		b.log("roam-hint", n.id, "", detail)
+	}
+	if cb != nil {
+		cb(nodeAddr)
+	}
+}
+
+func (b *Base) stopRenewer(nodeAddr, extName string) {
+	b.mu.Lock()
+	var r *lease.Renewer
+	if n, ok := b.adapted[nodeAddr]; ok {
+		r = n.renewers[extName]
+		delete(n.renewers, extName)
+	}
+	b.mu.Unlock()
+	if r != nil {
+		r.Stop()
+	}
+}
+
+func (b *Base) adaptedNodesLocked() []*adaptedNode {
+	out := make([]*adaptedNode, 0, len(b.adapted))
+	for _, n := range b.adapted {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (b *Base) log(ev, node, ext, detail string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.activity = append(b.activity, BaseActivity{
+		AtMillis: b.cfg.Clock.Now().UnixMilli(),
+		Event:    ev,
+		Node:     node,
+		Ext:      ext,
+		Detail:   detail,
+	})
+}
+
+// ServeOn registers the base's RPC surface on mux: the monitoring record
+// sink, the lookup watcher callback and the roaming hint endpoint.
+func (b *Base) ServeOn(mux *transport.Mux) {
+	transport.Register(mux, MethodBasePost, func(_ context.Context, req PostReq) (EmptyResp, error) {
+		if b.cfg.Store == nil {
+			return EmptyResp{}, fmt.Errorf("core: base %s has no store", b.cfg.Name)
+		}
+		_, err := b.cfg.Store.Append(req.Record)
+		return EmptyResp{}, err
+	})
+	transport.Register(mux, MethodBaseQuery, func(_ context.Context, req QueryReq) (QueryResp, error) {
+		if b.cfg.Store == nil {
+			return QueryResp{}, fmt.Errorf("core: base %s has no store", b.cfg.Name)
+		}
+		return QueryResp{Records: b.cfg.Store.Query(req.Filter)}, nil
+	})
+	transport.Register(mux, MethodBaseOnService, func(_ context.Context, n event.Notification) (EmptyResp, error) {
+		var ev registry.Event
+		if err := n.DecodeBody(&ev); err != nil {
+			return EmptyResp{}, err
+		}
+		if ev.Kind == registry.Added && ev.Item.Name == AdaptationService {
+			go func() { _ = b.AdaptNode(ev.Item.ID, ev.Item.Addr) }()
+		}
+		return EmptyResp{}, nil
+	})
+	transport.Register(mux, MethodBaseRoam, func(_ context.Context, req RoamReq) (EmptyResp, error) {
+		go func() { _ = b.AdaptNode(req.NodeID, req.NodeAddr) }()
+		return EmptyResp{}, nil
+	})
+}
+
+// WatchLookup subscribes the base to adaptation-service arrivals at the
+// lookup service behind client, and adapts all already-registered nodes. The
+// base must already be served on its own mux (ServeOn) so the watcher
+// callback can reach it.
+func (b *Base) WatchLookup(client *registry.Client, watchDur time.Duration) (string, error) {
+	watchID, err := client.Watch(registry.Template{Name: AdaptationService}, watchDur, b.cfg.Addr, MethodBaseOnService)
+	if err != nil {
+		return "", fmt.Errorf("core: watch lookup: %w", err)
+	}
+	items, err := client.Find(registry.Template{Name: AdaptationService})
+	if err != nil {
+		return watchID, fmt.Errorf("core: initial find: %w", err)
+	}
+	for _, it := range items {
+		go func(it registry.ServiceItem) { _ = b.AdaptNode(it.ID, it.Addr) }(it)
+	}
+	return watchID, nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/aop"
+	"repro/internal/lvm"
+)
+
+// Env is the node-side environment handed to advice bodies: the (gated) host
+// functions of the node plus identity information. Builtins receive it at
+// construction; mobile code reaches it through host calls.
+type Env struct {
+	NodeName string
+	BaseAddr string // address of the base that installed the extension
+	Host     lvm.Host
+	// Extras carries node-local native facilities (e.g. a *txn.Manager) that
+	// builtins may use after checking their granted capabilities.
+	Extras map[string]any
+}
+
+// Factory builds a builtin advice body from its configuration.
+type Factory func(env *Env, cfg map[string]string) (aop.Body, error)
+
+// Builtins is a registry of named advice factories compiled into a node.
+type Builtins struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+	bundles   map[string]Extension
+}
+
+// NewBuiltins returns an empty registry.
+func NewBuiltins() *Builtins {
+	return &Builtins{
+		factories: make(map[string]Factory),
+		bundles:   make(map[string]Extension),
+	}
+}
+
+// Register installs a factory under name, overwriting any previous one.
+func (b *Builtins) Register(name string, f Factory) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.factories[name] = f
+}
+
+// New builds the named builtin body.
+func (b *Builtins) New(name string, env *Env, cfg map[string]string) (aop.Body, error) {
+	b.mu.RLock()
+	f, ok := b.factories[name]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown builtin advice %q", name)
+	}
+	return f(env, cfg)
+}
+
+// RegisterBundle registers a complete implicit extension under its name;
+// receivers auto-install it when another extension Requires it (the paper's
+// session-management example in §3.3).
+func (b *Builtins) RegisterBundle(ext Extension) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bundles[ext.Name] = ext
+}
+
+// Bundle fetches a registered implicit extension.
+func (b *Builtins) Bundle(name string) (Extension, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.bundles[name]
+	return e, ok
+}
+
+// AdviceClass and AdviceMethod define the shape mobile advice code must have:
+// a class named Ext with a niladic method named advice. The join point is
+// reached through ctx.* host calls.
+const (
+	AdviceClass  = "Ext"
+	AdviceMethod = "advice"
+)
+
+// CompileAdvice assembles mobile advice source and wraps it as an aop.Body
+// whose host calls go through the node's sandboxed host plus the ctx.*
+// join-point accessors.
+func CompileAdvice(source string, host lvm.Host) (aop.Body, error) {
+	prog, err := lvm.Assemble(source)
+	if err != nil {
+		return nil, fmt.Errorf("core: advice code: %w", err)
+	}
+	cls := prog.Class(AdviceClass)
+	if cls == nil {
+		return nil, fmt.Errorf("core: advice code must define class %s", AdviceClass)
+	}
+	meth := cls.Methods[AdviceMethod]
+	if meth == nil {
+		return nil, fmt.Errorf("core: advice code must define %s.%s()", AdviceClass, AdviceMethod)
+	}
+	if meth.Arity() != 0 {
+		return nil, fmt.Errorf("core: %s.%s must take no parameters", AdviceClass, AdviceMethod)
+	}
+	// Mobile code is verified before it is ever executed: operand ranges,
+	// jump targets and stack discipline (complementing the run-time sandbox
+	// and step budget).
+	if err := lvm.VerifyProgram(prog); err != nil {
+		return nil, fmt.Errorf("core: advice code rejected: %w", err)
+	}
+	b := &codeBody{prog: prog, meth: meth, self: cls.New()}
+	b.interp = lvm.NewInterp(prog, &ctxHost{inner: host, body: b})
+	b.interp.MaxSteps = 200_000 // extension advice must be short
+	return b, nil
+}
+
+// codeBody executes one mobile advice method. Executions are serialised per
+// body so the ctx.* host accessors see a consistent join point.
+type codeBody struct {
+	mu     sync.Mutex
+	prog   *lvm.Program
+	meth   *lvm.Method
+	self   *lvm.Object
+	interp *lvm.Interp
+	cur    *aop.Context
+}
+
+// Exec implements aop.Body.
+func (b *codeBody) Exec(ctx *aop.Context) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cur = ctx
+	defer func() { b.cur = nil }()
+	_, err := b.interp.Invoke(b.meth, b.self, nil)
+	return err
+}
+
+// ctxHost layers the ctx.* join-point accessors over the node host. All
+// other calls fall through to the (typically sandbox-gated) inner host.
+type ctxHost struct {
+	inner lvm.Host
+	body  *codeBody
+}
+
+// HostCall implements lvm.Host.
+func (h *ctxHost) HostCall(name string, args []lvm.Value) (lvm.Value, error) {
+	ctx := h.body.cur
+	switch name {
+	case "ctx.kind":
+		return lvm.Str(ctx.Kind.String()), nil
+	case "ctx.class":
+		return lvm.Str(ctx.Sig.Class), nil
+	case "ctx.method":
+		return lvm.Str(ctx.Sig.Method), nil
+	case "ctx.field":
+		return lvm.Str(ctx.Field), nil
+	case "ctx.errmsg":
+		return lvm.Str(ctx.ErrMsg), nil
+	case "ctx.argc":
+		return lvm.Int(int64(len(ctx.Args))), nil
+	case "ctx.arg":
+		if len(args) != 1 {
+			return lvm.Nil(), lvm.Throwf("ctx.arg needs an index")
+		}
+		return ctx.Arg(int(args[0].I)), nil
+	case "ctx.setarg":
+		if len(args) != 2 {
+			return lvm.Nil(), lvm.Throwf("ctx.setarg needs index and value")
+		}
+		ctx.SetArg(int(args[0].I), args[1])
+		return lvm.Nil(), nil
+	case "ctx.result":
+		return ctx.Result, nil
+	case "ctx.setresult":
+		if len(args) != 1 {
+			return lvm.Nil(), lvm.Throwf("ctx.setresult needs a value")
+		}
+		ctx.SetResult(args[0])
+		return lvm.Nil(), nil
+	case "ctx.abort":
+		msg := "aborted by extension"
+		if len(args) > 0 {
+			msg = args[0].String()
+		}
+		ctx.Abort(msg)
+		return lvm.Nil(), nil
+	case "ctx.put":
+		if len(args) != 2 {
+			return lvm.Nil(), lvm.Throwf("ctx.put needs key and value")
+		}
+		ctx.Put(args[0].S, args[1])
+		return lvm.Nil(), nil
+	case "ctx.get":
+		if len(args) != 1 {
+			return lvm.Nil(), lvm.Throwf("ctx.get needs a key")
+		}
+		v, _ := ctx.Get(args[0].S)
+		return v, nil
+	case "ctx.selfget":
+		if len(args) != 1 || ctx.Self == nil {
+			return lvm.Nil(), nil
+		}
+		v, _ := ctx.Self.FieldByName(args[0].S)
+		return v, nil
+	}
+	if h.inner == nil {
+		return lvm.Nil(), lvm.Throwf("no host environment for %s", name)
+	}
+	return h.inner.HostCall(name, args)
+}
+
+var _ lvm.Host = (*ctxHost)(nil)

@@ -1,0 +1,151 @@
+// Package core implements MIDAS, the extension-management layer of the
+// platform (§3.2): extension bases discover newly arrived nodes and push
+// signed extensions to them; extension receivers (the adaptation service each
+// mobile node carries) verify, sandbox and weave the extensions, hold them
+// under leases, and autonomously withdraw them when the base stops renewing —
+// making every adaptation local in time and space.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/aop"
+	"repro/internal/sandbox"
+	"repro/internal/sign"
+)
+
+// AdviceSpec is the wire form of one crosscut action. Exactly one of Builtin
+// or Code must be set: Builtin names an advice factory compiled into the
+// receiving node (configured infrastructure extensions, like the paper's
+// access-control policies), Code carries mobile LVM bytecode executed in the
+// aspect sandbox (functionality the node did not carry).
+type AdviceSpec struct {
+	Name    string
+	Kind    string // "call-before", "call-after", "field-get", "field-set", "throw", "handle"
+	Pattern string // crosscut signature pattern
+
+	Builtin string
+	Config  map[string]string
+
+	Code string // LVM assembly; see CompileAdvice for the required shape
+}
+
+// Advice kinds accepted in AdviceSpec.Kind.
+const (
+	KindCallBefore = "call-before"
+	KindCallAfter  = "call-after"
+	KindFieldGet   = "field-get"
+	KindFieldSet   = "field-set"
+	KindThrow      = "throw"
+	KindHandle     = "handle"
+)
+
+// adviceKind maps wire kinds onto the aop model.
+func adviceKind(kind string) (aop.When, aop.Kind, error) {
+	switch kind {
+	case KindCallBefore:
+		return aop.Before, aop.MethodEntry, nil
+	case KindCallAfter:
+		return aop.After, aop.MethodExit, nil
+	case KindFieldGet:
+		return aop.After, aop.FieldGet, nil
+	case KindFieldSet:
+		return aop.Before, aop.FieldSet, nil
+	case KindThrow:
+		return aop.Before, aop.ExceptionThrow, nil
+	case KindHandle:
+		return aop.Before, aop.ExceptionHandler, nil
+	default:
+		return 0, 0, fmt.Errorf("core: unknown advice kind %q", kind)
+	}
+}
+
+// Extension is the unit MIDAS distributes: a named, versioned bundle of
+// advice plus the capabilities it needs and the implicit extensions it
+// depends on.
+type Extension struct {
+	ID       string // unique per extension instance
+	Name     string // aspect name at the receiver; one active version per name
+	Version  int
+	Priority int // weaving priority (lower runs first)
+
+	Advices  []AdviceSpec
+	Requires []string // implicit extensions (builtin bundle names) to auto-install
+	Caps     []string // requested sandbox capabilities
+	Meta     map[string]string
+}
+
+// Validate checks structural well-formedness before signing or installing.
+func (e *Extension) Validate() error {
+	if e.ID == "" || e.Name == "" {
+		return fmt.Errorf("core: extension needs ID and Name")
+	}
+	if len(e.Advices) == 0 {
+		return fmt.Errorf("core: extension %q has no advice", e.Name)
+	}
+	for i, a := range e.Advices {
+		if _, _, err := adviceKind(a.Kind); err != nil {
+			return fmt.Errorf("core: extension %q advice %d: %w", e.Name, i, err)
+		}
+		if a.Pattern == "" {
+			return fmt.Errorf("core: extension %q advice %d: empty pattern", e.Name, i)
+		}
+		if _, err := aop.ParsePattern(a.Pattern); err != nil {
+			return fmt.Errorf("core: extension %q advice %d: %w", e.Name, i, err)
+		}
+		hasBuiltin := a.Builtin != ""
+		hasCode := a.Code != ""
+		if hasBuiltin == hasCode {
+			return fmt.Errorf("core: extension %q advice %d: exactly one of Builtin or Code required", e.Name, i)
+		}
+	}
+	return nil
+}
+
+// Capabilities converts the requested capability names.
+func (e *Extension) Capabilities() []sandbox.Capability {
+	out := make([]sandbox.Capability, len(e.Caps))
+	for i, c := range e.Caps {
+		out[i] = sandbox.Capability(c)
+	}
+	return out
+}
+
+// Canonical returns the deterministic byte encoding that signatures cover
+// (JSON: map keys are sorted, field order is fixed).
+func (e *Extension) Canonical() ([]byte, error) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("core: canonical encoding: %w", err)
+	}
+	return b, nil
+}
+
+// SignedExtension is an extension plus its originator's signature over the
+// canonical encoding.
+type SignedExtension struct {
+	Ext Extension
+	Sig sign.Signature
+}
+
+// Sign produces a SignedExtension using signer.
+func Sign(signer *sign.Signer, ext Extension) (SignedExtension, error) {
+	if err := ext.Validate(); err != nil {
+		return SignedExtension{}, err
+	}
+	payload, err := ext.Canonical()
+	if err != nil {
+		return SignedExtension{}, err
+	}
+	return SignedExtension{Ext: ext, Sig: signer.Sign(payload)}, nil
+}
+
+// Verify checks the signature against trust.
+func (s *SignedExtension) Verify(trust *sign.TrustStore) error {
+	payload, err := s.Ext.Canonical()
+	if err != nil {
+		return err
+	}
+	return trust.Verify(payload, s.Sig)
+}

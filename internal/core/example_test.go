@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aop"
+	"repro/internal/core"
+	"repro/internal/lvm"
+	"repro/internal/sandbox"
+	"repro/internal/sign"
+	"repro/internal/weave"
+)
+
+// ExampleReceiver walks the receiver side of MIDAS: a signed extension
+// arrives from a trusted base, is woven, and later expires when its lease is
+// not renewed.
+func ExampleReceiver() {
+	// The hall's identity, trusted by the node.
+	hall, err := sign.NewSigner("hall-1")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	trust := sign.NewTrustStore()
+	trust.Trust("hall-1", hall.PublicKey())
+
+	// The node: a weaver, a builtin advice library, an adaptation service.
+	weaver := weave.New()
+	builtins := core.NewBuiltins()
+	builtins.Register("announce", func(env *core.Env, cfg map[string]string) (aop.Body, error) {
+		return aop.BodyFunc(func(ctx *aop.Context) error {
+			fmt.Printf("extension saw %s.%s\n", ctx.Sig.Class, ctx.Sig.Method)
+			return nil
+		}), nil
+	})
+	receiver, err := core.NewReceiver(core.ReceiverConfig{
+		NodeName: "robot-1",
+		Weaver:   weaver,
+		Trust:    trust,
+		Policy:   sandbox.AllowAll(),
+		Host:     lvm.HostMap{},
+		Builtins: builtins,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// The base signs and pushes an extension.
+	signed, err := core.Sign(hall, core.Extension{
+		ID:      "hall-1/watch",
+		Name:    "watch",
+		Version: 1,
+		Advices: []core.AdviceSpec{{
+			Name:    "watch-motors",
+			Kind:    core.KindCallBefore,
+			Pattern: "Motor.*(..)",
+			Builtin: "announce",
+		}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := receiver.Install(signed, "base-1", time.Minute); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// The application's join point fires through the woven advice.
+	site := weaver.RegisterMethodSite(aop.MethodEntry, aop.Signature{
+		Class: "Motor", Method: "rotate", Return: "void", Params: []string{"int"},
+	})
+	ctx := &aop.Context{Sig: site.Sig}
+	if err := site.Dispatch(ctx); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("installed:", receiver.Has("watch"))
+	// Output:
+	// extension saw Motor.rotate
+	// installed: true
+}

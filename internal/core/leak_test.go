@@ -1,0 +1,41 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestNoGoroutineLeaksOnTeardown spins up the full cluster (lookup, base,
+// receiver, renewers, sweepers), exercises it, tears it down, and checks
+// that the goroutine count returns to its baseline — every background
+// goroutine in the platform must be stoppable and stopped.
+func TestNoGoroutineLeaksOnTeardown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		c := newCluster(t, 100*time.Millisecond)
+		if err := c.base.AddExtension(noopExt("policy", 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.base.AdaptNode("robot1", "robot1"); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, "install", func() bool { return c.receiver.Has("policy") })
+		c.close()
+	}
+
+	// Allow stopped goroutines to unwind.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+		baseline, runtime.NumGoroutine(), buf[:n])
+}

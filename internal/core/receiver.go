@@ -1,0 +1,436 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/aop"
+	"repro/internal/clock"
+	"repro/internal/lease"
+	"repro/internal/lvm"
+	"repro/internal/registry"
+	"repro/internal/sandbox"
+	"repro/internal/sign"
+	"repro/internal/transport"
+	"repro/internal/weave"
+)
+
+// AdaptationService is the registry service type receivers advertise under.
+const AdaptationService = "midas.adaptation"
+
+// ReceiverConfig assembles the dependencies of an adaptation service.
+type ReceiverConfig struct {
+	NodeName string
+	Addr     string // transport address this receiver serves on
+	Weaver   *weave.Weaver
+	Trust    *sign.TrustStore
+	Policy   sandbox.Policy
+	Clock    clock.Clock
+	Host     lvm.Host // raw node host; gated per extension by the sandbox
+	Builtins *Builtins
+	// Extras carries node-local native facilities exposed to builtin advice
+	// factories through Env.Extras.
+	Extras map[string]any
+}
+
+// Activity is one entry of the receiver's adaptation log.
+type Activity struct {
+	AtMillis int64
+	Event    string // "install", "replace", "withdraw", "expire", "reject"
+	Ext      string
+	Base     string
+	Detail   string
+}
+
+// ExtensionInfo describes one installed extension.
+type ExtensionInfo struct {
+	ID       string
+	Name     string
+	Version  int
+	BaseAddr string
+	System   bool // implicit extension auto-installed via Requires
+}
+
+type installedExt struct {
+	ext      Extension
+	baseAddr string
+	leaseID  lease.ID
+	system   bool
+	refs     int // dependents, for system extensions
+	bodies   []aop.Body
+}
+
+// Receiver is the adaptation service carried by every mobile node: it
+// accepts signed extensions from bases, weaves them, and withdraws them when
+// their leases lapse (the node left the base's space) or the base revokes
+// them.
+type Receiver struct {
+	cfg     ReceiverConfig
+	grantor *lease.Grantor
+
+	mu        sync.Mutex
+	installed map[string]*installedExt // by extension Name
+	activity  []Activity
+}
+
+// NewReceiver builds a receiver. Weaver, Trust and Policy are required;
+// Clock defaults to the real clock, Builtins to an empty registry.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	if cfg.Weaver == nil || cfg.Trust == nil || cfg.Policy == nil {
+		return nil, fmt.Errorf("core: receiver needs Weaver, Trust and Policy")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Builtins == nil {
+		cfg.Builtins = NewBuiltins()
+	}
+	return &Receiver{
+		cfg:       cfg,
+		grantor:   lease.NewGrantor(cfg.Clock),
+		installed: make(map[string]*installedExt),
+	}, nil
+}
+
+// Grantor exposes the lease grantor for sweeping (tests) or Start/Stop.
+func (r *Receiver) Grantor() *lease.Grantor { return r.grantor }
+
+// Install verifies, sandboxes and weaves a signed extension from baseAddr,
+// holding it under a lease of duration dur. Implicit extensions listed in
+// Requires are auto-installed from the builtin bundle registry first.
+func (r *Receiver) Install(signed SignedExtension, baseAddr string, dur time.Duration) (lease.ID, error) {
+	ext := signed.Ext
+	if err := signed.Verify(r.cfg.Trust); err != nil {
+		r.log("reject", ext.Name, baseAddr, err.Error())
+		return "", err
+	}
+	if err := ext.Validate(); err != nil {
+		r.log("reject", ext.Name, baseAddr, err.Error())
+		return "", err
+	}
+	// Resolve implicit extensions before the dependent one (§3.3: adding an
+	// extension that needs session information automatically adds the
+	// session-management extension).
+	for _, req := range ext.Requires {
+		if err := r.installImplicit(req, baseAddr); err != nil {
+			r.log("reject", ext.Name, baseAddr, err.Error())
+			return "", err
+		}
+	}
+	id, err := r.install(ext, signed.Sig.SignerName, baseAddr, dur, false)
+	if err != nil {
+		r.log("reject", ext.Name, baseAddr, err.Error())
+		return "", err
+	}
+	return id, nil
+}
+
+func (r *Receiver) installImplicit(name, baseAddr string) error {
+	r.mu.Lock()
+	if ie, ok := r.installed[name]; ok {
+		ie.refs++
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	bundle, ok := r.cfg.Builtins.Bundle(name)
+	if !ok {
+		return fmt.Errorf("core: required implicit extension %q not available", name)
+	}
+	// Implicit extensions are local and trusted: no lease, no signature.
+	if _, err := r.install(bundle, "local", baseAddr, 0, true); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if ie, ok := r.installed[name]; ok {
+		ie.refs = 1
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *Receiver) install(ext Extension, signer, baseAddr string, dur time.Duration, system bool) (lease.ID, error) {
+	perms, err := r.cfg.Policy.Grant(signer, ext.Capabilities())
+	if err != nil {
+		return "", err
+	}
+	gated := sandbox.NewHost(r.cfg.Host, perms)
+	env := &Env{NodeName: r.cfg.NodeName, BaseAddr: baseAddr, Host: gated, Extras: r.cfg.Extras}
+
+	aspect := &aop.Aspect{Name: ext.Name, Priority: ext.Priority}
+	var bodies []aop.Body
+	for i := range ext.Advices {
+		spec := &ext.Advices[i]
+		var body aop.Body
+		if spec.Builtin != "" {
+			body, err = r.cfg.Builtins.New(spec.Builtin, env, spec.Config)
+		} else {
+			body, err = CompileAdvice(spec.Code, gated)
+		}
+		if err != nil {
+			return "", fmt.Errorf("core: extension %q advice %q: %w", ext.Name, spec.Name, err)
+		}
+		when, kind, err := adviceKind(spec.Kind)
+		if err != nil {
+			return "", err
+		}
+		pat, err := aop.ParsePattern(spec.Pattern)
+		if err != nil {
+			return "", err
+		}
+		bodies = append(bodies, body)
+		aspect.Advices = append(aspect.Advices, aop.Advice{
+			Name: spec.Name,
+			When: when,
+			Cut:  aop.Crosscut{Kind: kind, Pat: pat},
+			Body: body,
+		})
+	}
+	aspect.OnShutdown = func() {
+		for _, b := range bodies {
+			if s, ok := b.(ShutdownBody); ok {
+				s.Shutdown()
+			}
+		}
+	}
+
+	r.mu.Lock()
+	old, exists := r.installed[ext.Name]
+	r.mu.Unlock()
+
+	event := "install"
+	if exists {
+		if ext.Version <= old.ext.Version {
+			return "", fmt.Errorf("core: extension %q version %d already installed (have %d)",
+				ext.Name, ext.Version, old.ext.Version)
+		}
+		if err := r.cfg.Weaver.Replace(ext.Name, aspect); err != nil {
+			return "", err
+		}
+		_ = r.grantor.Cancel(old.leaseID)
+		event = "replace"
+	} else {
+		if err := r.cfg.Weaver.Insert(aspect); err != nil {
+			return "", err
+		}
+	}
+
+	ie := &installedExt{ext: ext, baseAddr: baseAddr, system: system, bodies: bodies}
+	if exists {
+		ie.refs = old.refs
+	}
+	if !system {
+		name := ext.Name
+		l := r.grantor.Grant(dur, func(lease.ID) { r.expire(name) })
+		ie.leaseID = l.ID
+	}
+	r.mu.Lock()
+	r.installed[ext.Name] = ie
+	r.mu.Unlock()
+	r.log(event, ext.Name, baseAddr, fmt.Sprintf("version %d, perms %s", ext.Version, gated.Perms()))
+	if ie.leaseID != "" {
+		return ie.leaseID, nil
+	}
+	return "", nil
+}
+
+// Renew extends an installed extension's lease; bases call this periodically
+// to keep their adaptations alive.
+func (r *Receiver) Renew(id lease.ID, dur time.Duration) error {
+	_, err := r.grantor.Renew(id, dur)
+	return err
+}
+
+// Withdraw removes the named extension immediately (explicit revocation by
+// the base, or local policy), running its shutdown procedure.
+func (r *Receiver) Withdraw(name string) error {
+	return r.remove(name, "withdraw")
+}
+
+func (r *Receiver) expire(name string) {
+	// Lease lapsed without renewal: the node has left the base's space (or
+	// the base died); autonomously discard the adaptation (§3.2).
+	_ = r.remove(name, "expire")
+}
+
+func (r *Receiver) remove(name, event string) error {
+	r.mu.Lock()
+	ie, ok := r.installed[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("core: extension %q not installed", name)
+	}
+	delete(r.installed, name)
+	requires := ie.ext.Requires
+	baseAddr := ie.baseAddr
+	leaseID := ie.leaseID
+	r.mu.Unlock()
+
+	if leaseID != "" {
+		_ = r.grantor.Cancel(leaseID)
+	}
+	if err := r.cfg.Weaver.Withdraw(name); err != nil {
+		return err
+	}
+	r.log(event, name, baseAddr, "")
+
+	// Release implicit dependencies.
+	for _, req := range requires {
+		r.mu.Lock()
+		dep, ok := r.installed[req]
+		var drop bool
+		if ok && dep.system {
+			dep.refs--
+			drop = dep.refs <= 0
+		}
+		r.mu.Unlock()
+		if drop {
+			_ = r.remove(req, "withdraw")
+		}
+	}
+	return nil
+}
+
+// Installed lists the current extensions sorted by name.
+func (r *Receiver) Installed() []ExtensionInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ExtensionInfo, 0, len(r.installed))
+	for _, ie := range r.installed {
+		out = append(out, ExtensionInfo{
+			ID:       ie.ext.ID,
+			Name:     ie.ext.Name,
+			Version:  ie.ext.Version,
+			BaseAddr: ie.baseAddr,
+			System:   ie.system,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Has reports whether the named extension is installed.
+func (r *Receiver) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.installed[name]
+	return ok
+}
+
+// Activity returns the adaptation log.
+func (r *Receiver) Activity() []Activity {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Activity, len(r.activity))
+	copy(out, r.activity)
+	return out
+}
+
+func (r *Receiver) log(event, ext, base, detail string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.activity = append(r.activity, Activity{
+		AtMillis: r.cfg.Clock.Now().UnixMilli(),
+		Event:    event,
+		Ext:      ext,
+		Base:     base,
+		Detail:   detail,
+	})
+}
+
+// ShutdownBody is implemented by advice bodies that need a shutdown
+// procedure before their extension is discarded (e.g. flushing buffered
+// monitoring records).
+type ShutdownBody interface {
+	Shutdown()
+}
+
+// Advertise registers the receiver as a midas.adaptation service at the
+// lookup service behind client and keeps the registration alive. The
+// returned stop function deregisters.
+func (r *Receiver) Advertise(client *registry.Client, dur time.Duration, attrs map[string]string) (func(), error) {
+	item := registry.ServiceItem{
+		ID:    r.cfg.NodeName,
+		Name:  AdaptationService,
+		Addr:  r.cfg.Addr,
+		Attrs: attrs,
+	}
+	leaseID, err := client.Register(item, dur)
+	if err != nil {
+		return nil, fmt.Errorf("core: advertise: %w", err)
+	}
+	renewer := lease.NewRenewer(r.cfg.Clock,
+		lease.Lease{ID: leaseID, Duration: dur},
+		func(id lease.ID, d time.Duration) (lease.Lease, error) {
+			if err := client.Renew(id, d); err != nil {
+				return lease.Lease{}, err
+			}
+			return lease.Lease{ID: id, Duration: d}, nil
+		},
+		0.5, nil)
+	renewer.Start()
+	return func() {
+		renewer.Stop()
+		_ = client.Deregister(item.ID)
+	}, nil
+}
+
+// RPC method names served by a receiver.
+const (
+	MethodInstall = "midas.install"
+	MethodRenewE  = "midas.renew"
+	MethodRevoke  = "midas.revoke"
+	MethodList    = "midas.list"
+)
+
+// Wire types for the receiver RPC surface.
+type (
+	// InstallReq pushes a signed extension.
+	InstallReq struct {
+		Signed    SignedExtension
+		BaseAddr  string
+		DurMillis int64
+	}
+	// InstallResp returns the lease handle.
+	InstallResp struct {
+		LeaseID string
+	}
+	// RenewExtReq keeps an extension alive.
+	RenewExtReq struct {
+		LeaseID   string
+		DurMillis int64
+	}
+	// RevokeReq withdraws an extension by name.
+	RevokeReq struct {
+		Name string
+	}
+	// ListResp describes installed extensions.
+	ListResp struct {
+		Extensions []ExtensionInfo
+	}
+	// EmptyResp is the empty response.
+	EmptyResp struct{}
+)
+
+// ServeOn registers the receiver's RPC surface on mux.
+func (r *Receiver) ServeOn(mux *transport.Mux) {
+	transport.Register(mux, MethodInstall, func(_ context.Context, req InstallReq) (InstallResp, error) {
+		id, err := r.Install(req.Signed, req.BaseAddr, time.Duration(req.DurMillis)*time.Millisecond)
+		if err != nil {
+			return InstallResp{}, err
+		}
+		return InstallResp{LeaseID: string(id)}, nil
+	})
+	transport.Register(mux, MethodRenewE, func(_ context.Context, req RenewExtReq) (EmptyResp, error) {
+		return EmptyResp{}, r.Renew(lease.ID(req.LeaseID), time.Duration(req.DurMillis)*time.Millisecond)
+	})
+	transport.Register(mux, MethodRevoke, func(_ context.Context, req RevokeReq) (EmptyResp, error) {
+		return EmptyResp{}, r.Withdraw(req.Name)
+	})
+	transport.Register(mux, MethodList, func(_ context.Context, _ EmptyResp) (ListResp, error) {
+		return ListResp{Extensions: r.Installed()}, nil
+	})
+}

@@ -1,0 +1,169 @@
+// Package discovery implements the announce/listen protocol through which
+// nodes find lookup services when they enter a new environment (the Jini
+// discovery role). Two carriers are provided: an in-process bus scoped by the
+// mobility simulator, and UDP datagrams for real deployments.
+package discovery
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Announcement advertises a lookup service.
+type Announcement struct {
+	// Name identifies the environment, e.g. "hall-1".
+	Name string
+	// LookupAddr is the transport address of the lookup service.
+	LookupAddr string
+	// Area optionally names the physical area the announcement covers.
+	Area string
+}
+
+// Bus is an in-process announcement channel. Subscribers receive every
+// announcement published after they subscribed; an optional filter restricts
+// delivery (the mobility layer filters by area/range).
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[int]*busSub
+	nextID int
+}
+
+type busSub struct {
+	fn     func(Announcement)
+	filter func(Announcement) bool
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[int]*busSub)}
+}
+
+// Announce publishes a to all current subscribers (synchronously).
+func (b *Bus) Announce(a Announcement) {
+	b.mu.Lock()
+	subs := make([]*busSub, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		if s.filter == nil || s.filter(a) {
+			s.fn(a)
+		}
+	}
+}
+
+// Subscribe registers fn (with an optional filter); the returned function
+// unsubscribes.
+func (b *Bus) Subscribe(fn func(Announcement), filter func(Announcement) bool) func() {
+	b.mu.Lock()
+	b.nextID++
+	id := b.nextID
+	b.subs[id] = &busSub{fn: fn, filter: filter}
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		delete(b.subs, id)
+		b.mu.Unlock()
+	}
+}
+
+// Announcer periodically re-publishes an announcement, the way a Jini lookup
+// service beacons its presence.
+type Announcer struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartAnnouncer announces a on bus every interval until Stop.
+func StartAnnouncer(bus *Bus, a Announcement, interval time.Duration) *Announcer {
+	an := &Announcer{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(an.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		bus.Announce(a)
+		for {
+			select {
+			case <-an.stop:
+				return
+			case <-ticker.C:
+				bus.Announce(a)
+			}
+		}
+	}()
+	return an
+}
+
+// Stop halts the announcer and waits for it to exit.
+func (a *Announcer) Stop() {
+	close(a.stop)
+	<-a.done
+}
+
+// UDPListener receives announcements over UDP.
+type UDPListener struct {
+	conn *net.UDPConn
+	done chan struct{}
+}
+
+// ListenUDP binds addr (e.g. "127.0.0.1:0") and invokes fn for every received
+// announcement.
+func ListenUDP(addr string, fn func(Announcement)) (*UDPListener, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: listen %s: %w", addr, err)
+	}
+	l := &UDPListener{conn: conn, done: make(chan struct{})}
+	go func() {
+		defer close(l.done)
+		buf := make([]byte, 4096)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			var a Announcement
+			if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&a); err != nil {
+				continue // ignore malformed datagrams
+			}
+			fn(a)
+		}
+	}()
+	return l, nil
+}
+
+// Addr returns the bound UDP address.
+func (l *UDPListener) Addr() string { return l.conn.LocalAddr().String() }
+
+// Close stops the listener.
+func (l *UDPListener) Close() error {
+	err := l.conn.Close()
+	<-l.done
+	return err
+}
+
+// AnnounceUDP sends one announcement datagram to target.
+func AnnounceUDP(target string, a Announcement) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&a); err != nil {
+		return fmt.Errorf("discovery: encode: %w", err)
+	}
+	conn, err := net.Dial("udp", target)
+	if err != nil {
+		return fmt.Errorf("discovery: dial %s: %w", target, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("discovery: send: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package discovery
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusAnnounceSubscribe(t *testing.T) {
+	bus := NewBus()
+	var mu sync.Mutex
+	var got []Announcement
+	cancel := bus.Subscribe(func(a Announcement) {
+		mu.Lock()
+		got = append(got, a)
+		mu.Unlock()
+	}, nil)
+
+	bus.Announce(Announcement{Name: "hall-1", LookupAddr: "lookup-1"})
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 1 || got[0].Name != "hall-1" {
+		t.Fatalf("got = %v", got)
+	}
+
+	cancel()
+	bus.Announce(Announcement{Name: "hall-2"})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Error("unsubscribed listener received announcement")
+	}
+}
+
+func TestBusFilter(t *testing.T) {
+	bus := NewBus()
+	var got []Announcement
+	bus.Subscribe(func(a Announcement) { got = append(got, a) },
+		func(a Announcement) bool { return a.Area == "north" })
+	bus.Announce(Announcement{Name: "a", Area: "north"})
+	bus.Announce(Announcement{Name: "b", Area: "south"})
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestAnnouncerRepeats(t *testing.T) {
+	bus := NewBus()
+	var mu sync.Mutex
+	count := 0
+	bus.Subscribe(func(Announcement) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}, nil)
+	an := StartAnnouncer(bus, Announcement{Name: "hall"}, 5*time.Millisecond)
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		n := count
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("announcer did not repeat")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	an.Stop()
+}
+
+func TestUDPAnnounceListen(t *testing.T) {
+	ch := make(chan Announcement, 1)
+	l, err := ListenUDP("127.0.0.1:0", func(a Announcement) {
+		select {
+		case ch <- a:
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	want := Announcement{Name: "hall-9", LookupAddr: "10.0.0.1:7000", Area: "west"}
+	// UDP is lossy even on loopback in theory; retry a few times.
+	for i := 0; i < 5; i++ {
+		if err := AnnounceUDP(l.Addr(), want); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case got := <-ch:
+			if got != want {
+				t.Fatalf("got = %+v", got)
+			}
+			return
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	t.Fatal("announcement not received over UDP")
+}

@@ -1,0 +1,84 @@
+package ext
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/aop"
+	"repro/internal/core"
+	"repro/internal/lvm"
+)
+
+// newEncrypt is the transparent encryption extension of §3.3: "it is very
+// easy to design an extension that will encrypt every outgoing call". It
+// rewrites the first bytes argument of intercepted calls with an AES-CTR
+// keystream derived from the configured key. Because CTR is an involution,
+// the same builtin configured on the receiving side (newDecrypt, applied to
+// the result or the incoming argument) restores the plaintext.
+//
+// Config:
+//
+//	key: shared secret (required)
+//
+// Note: the keystream is deterministic per key (fixed IV); this demonstrates
+// transparent interception, not a production wire protocol.
+func newEncrypt(_ *core.Env, cfg map[string]string) (aop.Body, error) {
+	xform, err := keystreamFunc(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		for i := range ctx.Args {
+			if ctx.Args[i].K == lvm.KBytes {
+				ctx.SetArg(i, lvm.Bytes(xform(ctx.Args[i].B)))
+				break
+			}
+		}
+		return nil
+	}), nil
+}
+
+// newDecrypt restores a payload transformed by newEncrypt. At method-exit
+// join points it rewrites a bytes result; at method-entry join points it
+// rewrites the first bytes argument (incoming call decryption).
+func newDecrypt(_ *core.Env, cfg map[string]string) (aop.Body, error) {
+	xform, err := keystreamFunc(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		if ctx.Kind == aop.MethodExit && ctx.Result.K == lvm.KBytes {
+			ctx.SetResult(lvm.Bytes(xform(ctx.Result.B)))
+			return nil
+		}
+		for i := range ctx.Args {
+			if ctx.Args[i].K == lvm.KBytes {
+				ctx.SetArg(i, lvm.Bytes(xform(ctx.Args[i].B)))
+				break
+			}
+		}
+		return nil
+	}), nil
+}
+
+// keystreamFunc builds the AES-CTR transform for the configured key.
+func keystreamFunc(cfg map[string]string) (func([]byte) []byte, error) {
+	key := cfg["key"]
+	if key == "" {
+		return nil, fmt.Errorf("ext: encryption needs a key")
+	}
+	digest := sha256.Sum256([]byte(key))
+	block, err := aes.NewCipher(digest[:16])
+	if err != nil {
+		return nil, fmt.Errorf("ext: cipher: %w", err)
+	}
+	iv := digest[16:32]
+	return func(in []byte) []byte {
+		out := make([]byte, len(in))
+		stream := cipher.NewCTR(block, iv)
+		stream.XORKeyStream(out, in)
+		return out
+	}, nil
+}

@@ -1,0 +1,216 @@
+package ext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/aop"
+	"repro/internal/core"
+	"repro/internal/lvm"
+	"repro/internal/sandbox"
+	"repro/internal/svc"
+)
+
+// Builtin advice names.
+const (
+	BSession       = "session"
+	BAccessControl = "accesscontrol"
+	BLogger        = "logger"
+	BMonitor       = "hwmonitor"
+	BEncrypt       = "encrypt"
+	BDecrypt       = "decrypt"
+	BPersist       = "persist"
+	BTxn           = "txn"
+	BMoveControl   = "movecontrol"
+	BReplicate     = "replicate"
+	BAccounting    = "accounting"
+	BAgeCheck      = "agecheck"
+)
+
+// SessionCallerKey is the context metadata key under which the session
+// extension publishes the authenticated caller identity.
+const SessionCallerKey = "session.caller"
+
+// SessionBundleName names the implicit session-management extension.
+const SessionBundleName = "session"
+
+// RegisterAll installs every builtin factory and the implicit bundles into b.
+func RegisterAll(b *core.Builtins) {
+	b.Register(BSession, newSession)
+	b.Register(BAccessControl, newAccessControl)
+	b.Register(BLogger, newLogger)
+	b.Register(BMonitor, newMonitor)
+	b.Register(BEncrypt, newEncrypt)
+	b.Register(BDecrypt, newDecrypt)
+	b.Register(BPersist, newPersist)
+	b.Register(BTxn, newTxn)
+	b.Register(BMoveControl, newMoveControl)
+	b.Register(BReplicate, newReplicate)
+	b.Register(BAccounting, newAccounting)
+	b.Register(BAgeCheck, newAgeCheck)
+
+	// The implicit session-management extension (§3.3): automatically added
+	// whenever an extension Requires session information. It runs at very
+	// low priority so it precedes everything that reads the session.
+	b.RegisterBundle(core.Extension{
+		ID:       "system/session",
+		Name:     SessionBundleName,
+		Version:  1,
+		Priority: -100,
+		Advices: []core.AdviceSpec{{
+			Name:    "extract-session",
+			Kind:    core.KindCallBefore,
+			Pattern: "*.*(..)",
+			Builtin: BSession,
+		}},
+		Caps: []string{string(sandbox.CapSession)},
+	})
+}
+
+// newSession extracts session information (the caller identity provided by
+// the transport layer) and publishes it for downstream extensions — the
+// first interception in Fig. 2.
+func newSession(_ *core.Env, _ map[string]string) (aop.Body, error) {
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		if _, have := ctx.Get(SessionCallerKey); have {
+			return nil
+		}
+		if v, ok := ctx.Get(svc.MetaCaller); ok {
+			ctx.Put(SessionCallerKey, v)
+		}
+		return nil
+	}), nil
+}
+
+// newAccessControl denies calls whose session caller is not authorised — the
+// second interception in Fig. 2. Config:
+//
+//	allow: comma-separated caller list, or "*" for everyone with a session
+//	deny:  comma-separated caller list checked first
+func newAccessControl(_ *core.Env, cfg map[string]string) (aop.Body, error) {
+	allow := splitList(cfg["allow"])
+	deny := splitList(cfg["deny"])
+	allowAll := len(allow) == 1 && allow[0] == "*"
+	if len(allow) == 0 && len(deny) == 0 {
+		return nil, fmt.Errorf("ext: accesscontrol needs an allow or deny list")
+	}
+	allowed := make(map[string]bool, len(allow))
+	for _, a := range allow {
+		allowed[a] = true
+	}
+	denied := make(map[string]bool, len(deny))
+	for _, d := range deny {
+		denied[d] = true
+	}
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		who, ok := ctx.Get(SessionCallerKey)
+		if !ok || who.S == "" {
+			ctx.Abortf("access denied: no session information for %s.%s", ctx.Sig.Class, ctx.Sig.Method)
+			return nil
+		}
+		if denied[who.S] {
+			ctx.Abortf("access denied for %q", who.S)
+			return nil
+		}
+		if !allowAll && !allowed[who.S] {
+			ctx.Abortf("access denied for %q", who.S)
+			return nil
+		}
+		return nil
+	}), nil
+}
+
+// newLogger records every interception through the node's log sink. Config:
+//
+//	prefix: tag prepended to each line
+func newLogger(env *core.Env, cfg map[string]string) (aop.Body, error) {
+	prefix := cfg["prefix"]
+	host := env.Host
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		line := prefix + ctx.Kind.String() + " " + ctx.Sig.Class + "." + ctx.Sig.Method
+		if ctx.Field != "" {
+			line += "#" + ctx.Field
+		}
+		_, err := hostCall(host, "log.info", lvm.Str(line))
+		return err
+	}), nil
+}
+
+// newMoveControl vetoes movements outside the configured envelope — "one may
+// forbid movements beyond certain coordinates" (§4.5, Control). Config:
+//
+//	min, max: inclusive bounds on the first integer argument
+func newMoveControl(_ *core.Env, cfg map[string]string) (aop.Body, error) {
+	minV, err := cfgInt(cfg, "min", -1<<62)
+	if err != nil {
+		return nil, err
+	}
+	maxV, err := cfgInt(cfg, "max", 1<<62-1)
+	if err != nil {
+		return nil, err
+	}
+	if minV > maxV {
+		return nil, fmt.Errorf("ext: movecontrol min %d > max %d", minV, maxV)
+	}
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		v := ctx.Arg(0).AsInt()
+		if v < minV || v > maxV {
+			ctx.Abortf("movement %d outside allowed range [%d, %d]", v, minV, maxV)
+		}
+		return nil
+	}), nil
+}
+
+// newAgeCheck trusts a device only after it has existed in the environment
+// for a minimum age (§4.6's device-age example). The birth date is recorded
+// when the extension is instantiated. Config:
+//
+//	min-age-millis: minimum age before calls are allowed
+func newAgeCheck(env *core.Env, cfg map[string]string) (aop.Body, error) {
+	minAge, err := cfgInt(cfg, "min-age-millis", 0)
+	if err != nil {
+		return nil, err
+	}
+	birth, err := hostCall(env.Host, "clock.now")
+	if err != nil {
+		return nil, fmt.Errorf("ext: agecheck needs the clock capability: %w", err)
+	}
+	host := env.Host
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		now, err := hostCall(host, "clock.now")
+		if err != nil {
+			return err
+		}
+		if now.AsInt()-birth.AsInt() < minAge {
+			ctx.Abortf("device age %dms below required %dms", now.AsInt()-birth.AsInt(), minAge)
+		}
+		return nil
+	}), nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func cfgInt(cfg map[string]string, key string, def int64) (int64, error) {
+	s, ok := cfg[key]
+	if !ok || s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ext: config %s=%q is not an integer", key, s)
+	}
+	return v, nil
+}

@@ -1,0 +1,454 @@
+package ext
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aop"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/lvm"
+	"repro/internal/store"
+	"repro/internal/svc"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/weave"
+)
+
+func testEnv(t *testing.T, host lvm.Host) *core.Env {
+	t.Helper()
+	return &core.Env{NodeName: "robot1", BaseAddr: "base-1", Host: host}
+}
+
+func mustBody(t *testing.T, f core.Factory, env *core.Env, cfg map[string]string) aop.Body {
+	t.Helper()
+	b, err := f(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRegisterAllProvidesBundles(t *testing.T) {
+	b := core.NewBuiltins()
+	RegisterAll(b)
+	if _, ok := b.Bundle(SessionBundleName); !ok {
+		t.Fatal("session bundle missing")
+	}
+	env := testEnv(t, lvm.HostMap{})
+	for _, name := range []string{BSession, BLogger} {
+		if _, err := b.New(name, env, nil); err != nil {
+			t.Errorf("builtin %s: %v", name, err)
+		}
+	}
+}
+
+func TestSessionPublishesCaller(t *testing.T) {
+	body := mustBody(t, newSession, testEnv(t, nil), nil)
+	ctx := &aop.Context{}
+	ctx.Put(svc.MetaCaller, lvm.Str("alice"))
+	if err := body.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := ctx.Get(SessionCallerKey)
+	if !ok || v.S != "alice" {
+		t.Errorf("session caller = %v, %v", v, ok)
+	}
+	// Without transport metadata, nothing is published.
+	ctx2 := &aop.Context{}
+	if err := body.Exec(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctx2.Get(SessionCallerKey); ok {
+		t.Error("caller published without transport info")
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	env := testEnv(t, nil)
+	body := mustBody(t, newAccessControl, env, map[string]string{"allow": "alice, bob"})
+
+	run := func(caller string) error {
+		ctx := &aop.Context{Sig: aop.Signature{Class: "Robot", Method: "moveArm"}}
+		if caller != "" {
+			ctx.Put(SessionCallerKey, lvm.Str(caller))
+		}
+		if err := body.Exec(ctx); err != nil {
+			return err
+		}
+		return ctx.Aborted()
+	}
+
+	if err := run("alice"); err != nil {
+		t.Errorf("alice denied: %v", err)
+	}
+	if err := run("bob"); err != nil {
+		t.Errorf("bob denied: %v", err)
+	}
+	if err := run("mallory"); err == nil {
+		t.Error("mallory allowed")
+	}
+	if err := run(""); err == nil || !strings.Contains(err.Error(), "no session") {
+		t.Errorf("missing session: %v", err)
+	}
+
+	// Deny list beats allow-all.
+	deny := mustBody(t, newAccessControl, env, map[string]string{"allow": "*", "deny": "mallory"})
+	ctx := &aop.Context{}
+	ctx.Put(SessionCallerKey, lvm.Str("mallory"))
+	if err := deny.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Aborted() == nil {
+		t.Error("deny list ignored")
+	}
+
+	if _, err := newAccessControl(env, nil); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func TestLogger(t *testing.T) {
+	var lines []string
+	host := lvm.HostMap{"log.info": func(args []lvm.Value) (lvm.Value, error) {
+		lines = append(lines, args[0].S)
+		return lvm.Nil(), nil
+	}}
+	body := mustBody(t, newLogger, testEnv(t, host), map[string]string{"prefix": "[x] "})
+	ctx := &aop.Context{Kind: aop.MethodEntry, Sig: aop.Signature{Class: "Motor", Method: "rotate"}}
+	if err := body.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || lines[0] != "[x] method-entry Motor.rotate" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestMoveControl(t *testing.T) {
+	body := mustBody(t, newMoveControl, testEnv(t, nil), map[string]string{"min": "-90", "max": "90"})
+	ok := &aop.Context{Args: []lvm.Value{lvm.Int(45)}}
+	if err := body.Exec(ok); err != nil || ok.Aborted() != nil {
+		t.Errorf("45 rejected: %v %v", err, ok.Aborted())
+	}
+	bad := &aop.Context{Args: []lvm.Value{lvm.Int(180)}}
+	if err := body.Exec(bad); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Aborted() == nil {
+		t.Error("180 allowed")
+	}
+	if _, err := newMoveControl(testEnv(t, nil), map[string]string{"min": "5", "max": "1"}); err == nil {
+		t.Error("min>max accepted")
+	}
+	if _, err := newMoveControl(testEnv(t, nil), map[string]string{"min": "abc"}); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestAgeCheck(t *testing.T) {
+	clk := clock.NewManual(time.UnixMilli(1_000_000))
+	host := NewNodeHost(NodeHostConfig{Clock: clk})
+	body := mustBody(t, newAgeCheck, testEnv(t, host), map[string]string{"min-age-millis": "5000"})
+
+	young := &aop.Context{}
+	if err := body.Exec(young); err != nil {
+		t.Fatal(err)
+	}
+	if young.Aborted() == nil {
+		t.Error("young device trusted")
+	}
+	clk.Advance(6 * time.Second)
+	old := &aop.Context{}
+	if err := body.Exec(old); err != nil {
+		t.Fatal(err)
+	}
+	if old.Aborted() != nil {
+		t.Errorf("aged device rejected: %v", old.Aborted())
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	env := testEnv(t, nil)
+	enc := mustBody(t, newEncrypt, env, map[string]string{"key": "secret"})
+	dec := mustBody(t, newDecrypt, env, map[string]string{"key": "secret"})
+
+	plain := []byte("move the arm 30 degrees")
+	ctx := &aop.Context{Kind: aop.MethodEntry, Args: []lvm.Value{lvm.Str("hdr"), lvm.Bytes(append([]byte(nil), plain...))}}
+	if err := enc.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cipherText := ctx.Arg(1).B
+	if string(cipherText) == string(plain) {
+		t.Fatal("payload not encrypted")
+	}
+	// Incoming-call decryption restores the argument.
+	if err := dec.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if string(ctx.Arg(1).B) != string(plain) {
+		t.Errorf("roundtrip = %q", ctx.Arg(1).B)
+	}
+
+	// Result decryption at method exit.
+	ctx2 := &aop.Context{Kind: aop.MethodExit, Result: lvm.Bytes(cipherText)}
+	if err := dec.Exec(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	if string(ctx2.Result.B) != string(plain) {
+		t.Errorf("result roundtrip = %q", ctx2.Result.B)
+	}
+
+	// Wrong key fails to restore.
+	wrong := mustBody(t, newDecrypt, env, map[string]string{"key": "other"})
+	ctx3 := &aop.Context{Kind: aop.MethodExit, Result: lvm.Bytes(append([]byte(nil), cipherText...))}
+	if err := wrong.Exec(ctx3); err != nil {
+		t.Fatal(err)
+	}
+	if string(ctx3.Result.B) == string(plain) {
+		t.Error("wrong key decrypted payload")
+	}
+
+	if _, err := newEncrypt(env, nil); err == nil {
+		t.Error("missing key accepted")
+	}
+}
+
+func TestPersist(t *testing.T) {
+	kv := store.NewKV()
+	host := NewNodeHost(NodeHostConfig{KV: kv})
+	body := mustBody(t, newPersist, testEnv(t, host), nil)
+
+	motor := lvm.NewClass("Motor")
+	motor.AddField("id")
+	motor.AddField("pos")
+	obj := motor.New()
+	obj.SetFieldByName("id", lvm.Str("x"))
+
+	ctx := &aop.Context{
+		Kind:  aop.FieldSet,
+		Sig:   aop.Signature{Class: "Motor"},
+		Field: "pos",
+		Self:  obj,
+		Args:  []lvm.Value{lvm.Int(42)},
+	}
+	if err := body.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v, found := kv.Get("persist/Motor.pos/x")
+	if !found || string(v) != "42" {
+		t.Errorf("persisted = %q, %v (keys %v)", v, found, kv.Keys())
+	}
+}
+
+func TestTxnCommitsAroundCall(t *testing.T) {
+	kv := store.NewKV()
+	mgr := txn.NewManager(kv)
+	host := NewNodeHost(NodeHostConfig{KV: kv})
+	env := &core.Env{NodeName: "n", Host: host, Extras: map[string]any{ExtraTxnManager: mgr}}
+	body := mustBody(t, newTxn, env, map[string]string{"key": "last-result"})
+
+	ctx := &aop.Context{Kind: aop.MethodEntry, Sig: aop.Signature{Class: "Robot", Method: "task"}}
+	if err := body.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Kind = aop.MethodExit
+	ctx.Result = lvm.Int(7)
+	if err := body.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := kv.Get("last-result")
+	if !ok || string(v) != "7" {
+		t.Errorf("kv = %q, %v", v, ok)
+	}
+	commits, _ := mgr.Stats()
+	if commits != 1 {
+		t.Errorf("commits = %d", commits)
+	}
+
+	// Without a manager the builtin refuses to build.
+	if _, err := newTxn(&core.Env{Host: host}, nil); err == nil {
+		t.Error("txn without manager accepted")
+	}
+}
+
+func TestMonitorSyncPostsToBase(t *testing.T) {
+	fabric := transport.NewInProc()
+	st := store.NewMemory()
+	baseMux := transport.NewMux()
+	transport.Register(baseMux, core.MethodBasePost, func(_ context.Context, req core.PostReq) (core.EmptyResp, error) {
+		_, err := st.Append(req.Record)
+		return core.EmptyResp{}, err
+	})
+	stop, _ := fabric.Serve("base-1", baseMux)
+	defer stop()
+
+	host := NewNodeHost(NodeHostConfig{Caller: fabric.Node("robot1"), Clock: clock.NewManual(time.UnixMilli(5000))})
+	body := mustBody(t, newMonitor, testEnv(t, host), map[string]string{"mode": "sync"})
+
+	motor := lvm.NewClass("Motor")
+	motor.AddField("id")
+	obj := motor.New()
+	obj.SetFieldByName("id", lvm.Str("x"))
+
+	ctx := &aop.Context{
+		Kind: aop.MethodEntry,
+		Sig:  aop.Signature{Class: "Motor", Method: "rotate"},
+		Self: obj,
+		Args: []lvm.Value{lvm.Int(30)},
+	}
+	if err := body.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	recs := st.Query(store.Filter{Robot: "robot1"})
+	if len(recs) != 1 {
+		t.Fatalf("records = %+v", recs)
+	}
+	r := recs[0]
+	if r.Device != "Motor:x" || r.Action != "rotate" || r.Value != 30 || r.AtMillis != 5000 {
+		t.Errorf("record = %+v", r)
+	}
+}
+
+func TestMonitorAsyncFlushOnShutdown(t *testing.T) {
+	fabric := transport.NewInProc()
+	st := store.NewMemory()
+	baseMux := transport.NewMux()
+	transport.Register(baseMux, core.MethodBasePost, func(_ context.Context, req core.PostReq) (core.EmptyResp, error) {
+		_, err := st.Append(req.Record)
+		return core.EmptyResp{}, err
+	})
+	stop, _ := fabric.Serve("base-1", baseMux)
+	defer stop()
+
+	host := NewNodeHost(NodeHostConfig{Caller: fabric.Node("robot1"), Clock: clock.Real{}})
+	body := mustBody(t, newMonitor, testEnv(t, host), nil) // async default
+
+	for i := 0; i < 20; i++ {
+		ctx := &aop.Context{
+			Kind: aop.MethodEntry,
+			Sig:  aop.Signature{Class: "Motor", Method: "rotate"},
+			Args: []lvm.Value{lvm.Int(int64(i))},
+		}
+		if err := body.Exec(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shutdown (the §3.2 shutdown procedure) must flush everything pending.
+	body.(*monitorBody).Shutdown()
+	if st.Len() != 20 {
+		t.Errorf("flushed %d records, want 20", st.Len())
+	}
+	// Exec after shutdown is a silent no-op.
+	if err := body.Exec(&aop.Context{Kind: aop.MethodEntry, Sig: aop.Signature{Class: "Motor", Method: "r"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorFieldJoinPoints(t *testing.T) {
+	fabric := transport.NewInProc()
+	st := store.NewMemory()
+	baseMux := transport.NewMux()
+	transport.Register(baseMux, core.MethodBasePost, func(_ context.Context, req core.PostReq) (core.EmptyResp, error) {
+		_, err := st.Append(req.Record)
+		return core.EmptyResp{}, err
+	})
+	stop, _ := fabric.Serve("base-1", baseMux)
+	defer stop()
+
+	host := NewNodeHost(NodeHostConfig{Caller: fabric.Node("robot1"), Clock: clock.Real{}})
+	body := mustBody(t, newMonitor, testEnv(t, host), map[string]string{"mode": "sync"})
+
+	setCtx := &aop.Context{Kind: aop.FieldSet, Sig: aop.Signature{Class: "Motor"}, Field: "pos", Args: []lvm.Value{lvm.Int(7)}}
+	if err := body.Exec(setCtx); err != nil {
+		t.Fatal(err)
+	}
+	getCtx := &aop.Context{Kind: aop.FieldGet, Sig: aop.Signature{Class: "Motor"}, Field: "pos", Result: lvm.Int(7)}
+	if err := body.Exec(getCtx); err != nil {
+		t.Fatal(err)
+	}
+	recs := st.Query(store.Filter{})
+	if len(recs) != 2 || recs[0].Action != "set:pos" || recs[1].Action != "get:pos" {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestReplicateForwardsScaled(t *testing.T) {
+	fabric := transport.NewInProc()
+	mirrorWeaver := weave.New()
+	mirror := svc.NewRegistry(mirrorWeaver)
+	var got []int64
+	mirror.Register("Plotter", "rotate", []string{"int"}, "void", func(args []lvm.Value) (lvm.Value, error) {
+		got = append(got, args[0].I)
+		return lvm.Nil(), nil
+	})
+	mux := transport.NewMux()
+	mirror.ServeOn(mux)
+	stop, _ := fabric.Serve("mirror", mux)
+	defer stop()
+
+	host := NewNodeHost(NodeHostConfig{Caller: fabric.Node("robot1")})
+	body := mustBody(t, newReplicate, testEnv(t, host), map[string]string{
+		"peer": "mirror", "service": "Plotter", "scale": "50",
+	})
+	ctx := &aop.Context{
+		Kind: aop.MethodExit,
+		Sig:  aop.Signature{Class: "Motor", Method: "rotate"},
+		Args: []lvm.Value{lvm.Int(30)},
+	}
+	if err := body.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 15 {
+		t.Errorf("mirror got %v, want [15]", got)
+	}
+
+	if _, err := newReplicate(testEnv(t, host), nil); err == nil {
+		t.Error("missing peer accepted")
+	}
+	if _, err := newReplicate(testEnv(t, host), map[string]string{"peer": "p", "scale": "0"}); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestAccountingPostsCharges(t *testing.T) {
+	fabric := transport.NewInProc()
+	st := store.NewMemory()
+	baseMux := transport.NewMux()
+	transport.Register(baseMux, core.MethodBasePost, func(_ context.Context, req core.PostReq) (core.EmptyResp, error) {
+		_, err := st.Append(req.Record)
+		return core.EmptyResp{}, err
+	})
+	stop, _ := fabric.Serve("base-1", baseMux)
+	defer stop()
+
+	host := NewNodeHost(NodeHostConfig{Caller: fabric.Node("robot1"), Clock: clock.Real{}})
+	body := mustBody(t, newAccounting, testEnv(t, host), map[string]string{"price": "3"})
+
+	ctx := &aop.Context{Kind: aop.MethodExit, Sig: aop.Signature{Class: "Robot", Method: "moveArm"}}
+	ctx.Put(SessionCallerKey, lvm.Str("alice"))
+	if err := body.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	recs := st.Query(store.Filter{Device: "billing"})
+	if len(recs) != 1 || recs[0].Action != "charge:alice" || recs[0].Value != 3 {
+		t.Errorf("billing = %+v", recs)
+	}
+}
+
+func TestNodeHostStoreFunctions(t *testing.T) {
+	kv := store.NewKV()
+	host := NewNodeHost(NodeHostConfig{KV: kv})
+	if _, err := host.HostCall("store.put", []lvm.Value{lvm.Str("k"), lvm.Str("v")}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := host.HostCall("store.get", []lvm.Value{lvm.Str("k")})
+	if err != nil || v.S != "v" {
+		t.Fatalf("store.get = %v, %v", v, err)
+	}
+	missing, err := host.HostCall("store.get", []lvm.Value{lvm.Str("none")})
+	if err != nil || missing.K != lvm.KNil {
+		t.Errorf("missing = %v, %v", missing, err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package ext provides the built-in extension library of the platform: the
+// advice factories (session management, access control, hardware monitoring,
+// encryption, orthogonal persistence, ad-hoc transactions, movement control,
+// replication, accounting, device-age trust) that extension bases configure
+// and distribute, plus the node host environment their sandboxed bodies call
+// into.
+package ext
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/lvm"
+	"repro/internal/store"
+	"repro/internal/svc"
+	"repro/internal/transport"
+)
+
+// NodeHostConfig wires the host environment of one node.
+type NodeHostConfig struct {
+	Caller transport.Caller // for net.* functions; may be nil on isolated nodes
+	KV     *store.KV        // for store.* functions; may be nil
+	Clock  clock.Clock      // defaults to the real clock
+	Log    func(string)     // sink for log.info; defaults to discard
+}
+
+// NewNodeHost builds the standard host function table. Callers may add
+// further functions (e.g. device.* from the robot layer) to the returned map
+// before handing it to the receiver. Every function is namespaced so the
+// sandbox can gate it by capability.
+func NewNodeHost(cfg NodeHostConfig) lvm.HostMap {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string) {}
+	}
+
+	h := lvm.HostMap{
+		"clock.now": func(args []lvm.Value) (lvm.Value, error) {
+			return lvm.Int(clk.Now().UnixMilli()), nil
+		},
+		"log.info": func(args []lvm.Value) (lvm.Value, error) {
+			msg := ""
+			for i, a := range args {
+				if i > 0 {
+					msg += " "
+				}
+				msg += a.String()
+			}
+			logf(msg)
+			return lvm.Nil(), nil
+		},
+	}
+
+	if cfg.KV != nil {
+		kv := cfg.KV
+		h["store.put"] = func(args []lvm.Value) (lvm.Value, error) {
+			if len(args) != 2 {
+				return lvm.Nil(), lvm.Throwf("store.put needs key and value")
+			}
+			if err := kv.Put(args[0].String(), []byte(args[1].String())); err != nil {
+				return lvm.Nil(), lvm.Throwf("store.put: %v", err)
+			}
+			return lvm.Bool(true), nil
+		}
+		h["store.get"] = func(args []lvm.Value) (lvm.Value, error) {
+			if len(args) != 1 {
+				return lvm.Nil(), lvm.Throwf("store.get needs a key")
+			}
+			v, ok := kv.Get(args[0].String())
+			if !ok {
+				return lvm.Nil(), nil
+			}
+			return lvm.Str(string(v)), nil
+		}
+	}
+
+	if cfg.Caller != nil {
+		caller := cfg.Caller
+		// net.post(baseAddr, robot, device, action, value, at, dur) delivers
+		// one monitoring record to a base station's store.
+		h["net.post"] = func(args []lvm.Value) (lvm.Value, error) {
+			if len(args) != 7 {
+				return lvm.Nil(), lvm.Throwf("net.post needs 7 arguments")
+			}
+			rec := store.Record{
+				Robot:    args[1].String(),
+				Device:   args[2].String(),
+				Action:   args[3].String(),
+				Value:    args[4].AsInt(),
+				AtMillis: args[5].AsInt(),
+				DurMilli: args[6].AsInt(),
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_, err := transport.Invoke[core.PostReq, core.EmptyResp](ctx, caller, args[0].String(), core.MethodBasePost, core.PostReq{Record: rec})
+			if err != nil {
+				return lvm.Nil(), lvm.Throwf("net.post: %v", err)
+			}
+			return lvm.Bool(true), nil
+		}
+		// net.replicate(peerAddr, service, method, caller, value) forwards a
+		// movement to a mirror robot.
+		h["net.replicate"] = func(args []lvm.Value) (lvm.Value, error) {
+			if len(args) != 5 {
+				return lvm.Nil(), lvm.Throwf("net.replicate needs 5 arguments")
+			}
+			_, err := svc.Call(caller, args[0].String(), args[1].String(), args[2].String(), args[3].String(), args[4])
+			if err != nil {
+				return lvm.Nil(), lvm.Throwf("net.replicate: %v", err)
+			}
+			return lvm.Bool(true), nil
+		}
+	}
+	return h
+}
+
+// hostCall is a small helper for builtins calling gated host functions.
+func hostCall(h lvm.Host, name string, args ...lvm.Value) (lvm.Value, error) {
+	if h == nil {
+		return lvm.Nil(), fmt.Errorf("ext: no host environment")
+	}
+	return h.HostCall(name, args)
+}

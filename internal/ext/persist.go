@@ -1,0 +1,108 @@
+package ext
+
+import (
+	"fmt"
+
+	"repro/internal/aop"
+	"repro/internal/core"
+	"repro/internal/lvm"
+	"repro/internal/sandbox"
+	"repro/internal/txn"
+)
+
+// newPersist is the orthogonal-persistence extension measured in §4.6: woven
+// at field-set join points, it mirrors every state change of the application
+// into the node's persistent key-value store, keyed by class, field and
+// object identity. The application itself stays persistence-unaware.
+// Config:
+//
+//	prefix: key namespace (default "persist/")
+//
+// Requires the store capability.
+func newPersist(env *core.Env, cfg map[string]string) (aop.Body, error) {
+	prefix := cfg["prefix"]
+	if prefix == "" {
+		prefix = "persist/"
+	}
+	host := env.Host
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		key := prefix + ctx.Sig.Class + "." + ctx.Field + objectSuffix(ctx)
+		var val lvm.Value
+		switch ctx.Kind {
+		case aop.FieldSet:
+			val = ctx.Arg(0)
+		case aop.FieldGet:
+			val = ctx.Result
+		default:
+			val = ctx.Result
+		}
+		_, err := hostCall(host, "store.put", lvm.Str(key), lvm.Str(val.String()))
+		return err
+	}), nil
+}
+
+func objectSuffix(ctx *aop.Context) string {
+	if ctx.Self == nil {
+		return ""
+	}
+	if id, ok := ctx.Self.FieldByName("id"); ok && id.K == lvm.KStr && id.S != "" {
+		return "/" + id.S
+	}
+	return ""
+}
+
+// ExtraTxnManager is the Env.Extras key under which nodes expose their
+// transaction manager to the txn builtin.
+const ExtraTxnManager = "txn.manager"
+
+// newTxn is the ad-hoc transaction extension ([PA02], measured in §4.6): the
+// same builtin is woven as a call-before advice (begins a transaction and
+// attaches it to the join-point context) and as a call-after advice (records
+// the result under the configured key and commits). An abort anywhere in
+// between simply never commits. Config:
+//
+//	key: KV key the method result is transactionally recorded under
+//	     (default "txn/<Class>.<method>")
+//
+// Requires the store capability and a *txn.Manager in Env.Extras.
+func newTxn(env *core.Env, cfg map[string]string) (aop.Body, error) {
+	mgrAny, ok := env.Extras[ExtraTxnManager]
+	if !ok {
+		return nil, fmt.Errorf("ext: txn needs a transaction manager on this node")
+	}
+	mgr, ok := mgrAny.(*txn.Manager)
+	if !ok {
+		return nil, fmt.Errorf("ext: txn manager has wrong type %T", mgrAny)
+	}
+	// The manager writes the node KV directly, bypassing host gating, so
+	// insist the store capability was actually granted.
+	if gated, ok := env.Host.(*sandbox.Host); ok && !gated.Perms().Allows(sandbox.CapStore) {
+		return nil, fmt.Errorf("ext: txn requires the store capability")
+	}
+	key := cfg["key"]
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		switch ctx.Kind {
+		case aop.MethodEntry:
+			ctx.Attach(ExtraTxnManager, mgr.Begin())
+		case aop.MethodExit:
+			v, ok := ctx.Attachment(ExtraTxnManager)
+			if !ok {
+				return nil // entry advice not woven; nothing to commit
+			}
+			tx, ok := v.(*txn.Txn)
+			if !ok {
+				return nil
+			}
+			ctx.Detach(ExtraTxnManager)
+			k := key
+			if k == "" {
+				k = "txn/" + ctx.Sig.Class + "." + ctx.Sig.Method
+			}
+			if err := tx.Put(k, []byte(ctx.Result.String())); err != nil {
+				return err
+			}
+			return tx.Commit()
+		}
+		return nil
+	}), nil
+}

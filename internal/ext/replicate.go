@@ -1,0 +1,78 @@
+package ext
+
+import (
+	"fmt"
+
+	"repro/internal/aop"
+	"repro/internal/core"
+	"repro/internal/lvm"
+)
+
+// newReplicate is the remote-replication application of §4.5: every
+// intercepted movement is forwarded to an identical robot at another
+// location, optionally re-scaled ("amplify or reduce the extracted sequence
+// of movements to adjust it to the new scale"). Config:
+//
+//	peer:    transport address of the mirror robot's service (required)
+//	service: remote service name (default: the intercepted class)
+//	scale:   percentage applied to the movement value (default 100)
+//
+// Requires the net capability.
+func newReplicate(env *core.Env, cfg map[string]string) (aop.Body, error) {
+	peer := cfg["peer"]
+	if peer == "" {
+		return nil, fmt.Errorf("ext: replicate needs a peer address")
+	}
+	scale, err := cfgInt(cfg, "scale", 100)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("ext: replicate scale must be positive")
+	}
+	service := cfg["service"]
+	host := env.Host
+	node := env.NodeName
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		target := service
+		if target == "" {
+			target = ctx.Sig.Class
+		}
+		value := ctx.Arg(0).AsInt() * scale / 100
+		_, err := hostCall(host, "net.replicate",
+			lvm.Str(peer), lvm.Str(target), lvm.Str(ctx.Sig.Method),
+			lvm.Str(node), lvm.Int(value))
+		return err
+	}), nil
+}
+
+// newAccounting is the billing extension from §1: mobile devices are charged
+// for the use of services in a location. Each completed call posts a billing
+// record (caller, price) to the base station. Config:
+//
+//	price: charge per call (default 1)
+//
+// Requires the net and clock capabilities.
+func newAccounting(env *core.Env, cfg map[string]string) (aop.Body, error) {
+	price, err := cfgInt(cfg, "price", 1)
+	if err != nil {
+		return nil, err
+	}
+	host := env.Host
+	baseAddr := env.BaseAddr
+	node := env.NodeName
+	return aop.BodyFunc(func(ctx *aop.Context) error {
+		who := "unknown"
+		if v, ok := ctx.Get(SessionCallerKey); ok && v.S != "" {
+			who = v.S
+		}
+		now, err := hostCall(host, "clock.now")
+		if err != nil {
+			return err
+		}
+		_, err = hostCall(host, "net.post",
+			lvm.Str(baseAddr), lvm.Str(node), lvm.Str("billing"),
+			lvm.Str("charge:"+who), lvm.Int(price), now, lvm.Int(0))
+		return err
+	}), nil
+}

@@ -1,0 +1,416 @@
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/aop"
+	"repro/internal/lvm"
+	"repro/internal/weave"
+)
+
+// compile translates a method's bytecode into a closure chain and, when a
+// weaver is attached, registers its join-point sites and plants stubs.
+func (m *Machine) compile(meth *lvm.Method) (*compiled, error) {
+	c := &compiled{
+		m:        meth,
+		steps:    make([]stepFn, len(meth.Code)),
+		maxStack: len(meth.Code) + 2,
+	}
+	if m.Weaver != nil {
+		sig := aop.SignatureOf(meth)
+		c.entrySite = m.Weaver.RegisterMethodSite(aop.MethodEntry, sig)
+		c.exitSite = m.Weaver.RegisterMethodSite(aop.MethodExit, sig)
+		c.throwSite = m.Weaver.RegisterMethodSite(aop.ExceptionThrow, sig)
+		if len(meth.Handlers) > 0 {
+			c.handlerSite = m.Weaver.RegisterMethodSite(aop.ExceptionHandler, sig)
+		}
+	}
+	for pc, ins := range meth.Code {
+		step, err := m.compileInstr(c, pc, ins)
+		if err != nil {
+			return nil, fmt.Errorf("jit: %s pc=%d: %w", meth, pc, err)
+		}
+		c.steps[pc] = step
+	}
+	return c, nil
+}
+
+func (m *Machine) compileInstr(c *compiled, pc int, ins lvm.Instr) (stepFn, error) {
+	meth := c.m
+	next := pc + 1
+	switch ins.Op {
+	case lvm.OpNop:
+		return func(e *env, fr *frame, depth int) (int, error) { return next, nil }, nil
+
+	case lvm.OpConst:
+		if ins.A < 0 || ins.A >= len(meth.Consts) {
+			return nil, fmt.Errorf("const index %d out of range", ins.A)
+		}
+		v := meth.Consts[ins.A]
+		return func(e *env, fr *frame, depth int) (int, error) {
+			fr.stack = append(fr.stack, v)
+			return next, nil
+		}, nil
+
+	case lvm.OpLoad:
+		slot := ins.A
+		if slot < 0 || slot >= meth.FrameSize() {
+			return nil, fmt.Errorf("load slot %d out of range", slot)
+		}
+		return func(e *env, fr *frame, depth int) (int, error) {
+			fr.stack = append(fr.stack, fr.locals[slot])
+			return next, nil
+		}, nil
+
+	case lvm.OpStore:
+		slot := ins.A
+		if slot < 0 || slot >= meth.FrameSize() {
+			return nil, fmt.Errorf("store slot %d out of range", slot)
+		}
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			fr.locals[slot] = fr.stack[n-1]
+			fr.stack = fr.stack[:n-1]
+			return next, nil
+		}, nil
+
+	case lvm.OpGetField, lvm.OpGetSelf:
+		idx := ins.A
+		onSelf := ins.Op == lvm.OpGetSelf
+		var site *weave.Site
+		if m.Weaver != nil {
+			class, field := fieldNames(meth, ins)
+			site = m.Weaver.RegisterFieldSite(aop.FieldGet, class, field)
+		}
+		fieldName := ins.Sym
+		return func(e *env, fr *frame, depth int) (int, error) {
+			var obj *lvm.Object
+			if onSelf {
+				obj = fr.locals[0].O
+			} else {
+				n := len(fr.stack)
+				top := fr.stack[n-1]
+				fr.stack = fr.stack[:n-1]
+				obj = top.O
+				if top.K != lvm.KObj {
+					obj = nil
+				}
+			}
+			if obj == nil {
+				return 0, lvm.Throwf("getfield on non-object")
+			}
+			v := obj.Get(idx)
+			if site != nil && site.Active() {
+				ctx := weave.GetContext()
+				ctx.Kind = aop.FieldGet
+				ctx.Sig = aop.Signature{Class: obj.Class.Name}
+				ctx.Field = fieldName
+				ctx.Self = obj
+				ctx.Result = v
+				err := site.Dispatch(ctx)
+				v = ctx.Result
+				weave.PutContext(ctx)
+				if err != nil {
+					return 0, err
+				}
+			}
+			fr.stack = append(fr.stack, v)
+			return next, nil
+		}, nil
+
+	case lvm.OpSetField, lvm.OpSetSelf:
+		idx := ins.A
+		onSelf := ins.Op == lvm.OpSetSelf
+		var site *weave.Site
+		if m.Weaver != nil {
+			class, field := fieldNames(meth, ins)
+			site = m.Weaver.RegisterFieldSite(aop.FieldSet, class, field)
+		}
+		fieldName := ins.Sym
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			v := fr.stack[n-1]
+			fr.stack = fr.stack[:n-1]
+			var obj *lvm.Object
+			if onSelf {
+				obj = fr.locals[0].O
+			} else {
+				n := len(fr.stack)
+				top := fr.stack[n-1]
+				fr.stack = fr.stack[:n-1]
+				if top.K == lvm.KObj {
+					obj = top.O
+				}
+			}
+			if obj == nil {
+				return 0, lvm.Throwf("setfield on non-object")
+			}
+			if site != nil && site.Active() {
+				ctx := weave.GetContext()
+				ctx.Kind = aop.FieldSet
+				ctx.Sig = aop.Signature{Class: obj.Class.Name}
+				ctx.Field = fieldName
+				ctx.Self = obj
+				ctx.Args = append(ctx.Args[:0], v)
+				err := site.Dispatch(ctx)
+				v = ctx.Args[0]
+				weave.PutContext(ctx)
+				if err != nil {
+					return 0, err
+				}
+			}
+			obj.Set(idx, v)
+			return next, nil
+		}, nil
+
+	case lvm.OpAdd, lvm.OpSub, lvm.OpMul:
+		op := ins.Op
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			a, b := fr.stack[n-2].I, fr.stack[n-1].I
+			fr.stack = fr.stack[:n-1]
+			var r int64
+			switch op {
+			case lvm.OpAdd:
+				r = a + b
+			case lvm.OpSub:
+				r = a - b
+			default:
+				r = a * b
+			}
+			fr.stack[n-2] = lvm.Int(r)
+			return next, nil
+		}, nil
+
+	case lvm.OpDiv, lvm.OpMod:
+		isDiv := ins.Op == lvm.OpDiv
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			a, b := fr.stack[n-2].I, fr.stack[n-1].I
+			fr.stack = fr.stack[:n-1]
+			if b == 0 {
+				return 0, lvm.Throwf("divide by zero")
+			}
+			var r int64
+			if isDiv {
+				r = a / b
+			} else {
+				r = a % b
+			}
+			fr.stack[n-2] = lvm.Int(r)
+			return next, nil
+		}, nil
+
+	case lvm.OpNeg:
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			fr.stack[n-1] = lvm.Int(-fr.stack[n-1].I)
+			return next, nil
+		}, nil
+
+	case lvm.OpEq, lvm.OpNe:
+		negate := ins.Op == lvm.OpNe
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			eq := fr.stack[n-2].Equal(fr.stack[n-1])
+			fr.stack = fr.stack[:n-1]
+			fr.stack[n-2] = lvm.Bool(eq != negate)
+			return next, nil
+		}, nil
+
+	case lvm.OpLt, lvm.OpLe, lvm.OpGt, lvm.OpGe:
+		op := ins.Op
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			a, b := fr.stack[n-2], fr.stack[n-1]
+			fr.stack = fr.stack[:n-1]
+			fr.stack[n-2] = lvm.Bool(compareValues(op, a, b))
+			return next, nil
+		}, nil
+
+	case lvm.OpAnd, lvm.OpOr:
+		isAnd := ins.Op == lvm.OpAnd
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			a, b := fr.stack[n-2].AsBool(), fr.stack[n-1].AsBool()
+			fr.stack = fr.stack[:n-1]
+			if isAnd {
+				fr.stack[n-2] = lvm.Bool(a && b)
+			} else {
+				fr.stack[n-2] = lvm.Bool(a || b)
+			}
+			return next, nil
+		}, nil
+
+	case lvm.OpNot:
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			fr.stack[n-1] = lvm.Bool(!fr.stack[n-1].AsBool())
+			return next, nil
+		}, nil
+
+	case lvm.OpConcat:
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			s := fr.stack[n-2].String() + fr.stack[n-1].String()
+			fr.stack = fr.stack[:n-1]
+			fr.stack[n-2] = lvm.Str(s)
+			return next, nil
+		}, nil
+
+	case lvm.OpLen:
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			v := fr.stack[n-1]
+			switch v.K {
+			case lvm.KStr:
+				fr.stack[n-1] = lvm.Int(int64(len(v.S)))
+			case lvm.KBytes:
+				fr.stack[n-1] = lvm.Int(int64(len(v.B)))
+			default:
+				return 0, lvm.Throwf("len on %s", v.K)
+			}
+			return next, nil
+		}, nil
+
+	case lvm.OpJump:
+		target := ins.A
+		return func(e *env, fr *frame, depth int) (int, error) { return target, nil }, nil
+
+	case lvm.OpJumpFalse:
+		target := ins.A
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			v := fr.stack[n-1]
+			fr.stack = fr.stack[:n-1]
+			if !v.AsBool() {
+				return target, nil
+			}
+			return next, nil
+		}, nil
+
+	case lvm.OpCall:
+		name := ins.Sym
+		argc := ins.B
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			if n < argc+1 {
+				return 0, lvm.Throwf("call %s: stack underflow", name)
+			}
+			args := make([]lvm.Value, argc)
+			copy(args, fr.stack[n-argc:])
+			recv := fr.stack[n-argc-1]
+			fr.stack = fr.stack[:n-argc-1]
+			if recv.K != lvm.KObj || recv.O == nil {
+				return 0, lvm.Throwf("call %s on non-object", name)
+			}
+			callee := recv.O.Class.Methods[name]
+			if callee == nil {
+				return 0, lvm.Throwf("no method %s.%s", recv.O.Class.Name, name)
+			}
+			cc, err := e.m.compiledFor(callee)
+			if err != nil {
+				return 0, err
+			}
+			r, err := cc.invoke(e, recv.O, args, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			fr.stack = append(fr.stack, r)
+			return next, nil
+		}, nil
+
+	case lvm.OpHostCall:
+		name := ins.Sym
+		argc := ins.B
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			if n < argc {
+				return 0, lvm.Throwf("hostcall %s: stack underflow", name)
+			}
+			args := make([]lvm.Value, argc)
+			copy(args, fr.stack[n-argc:])
+			fr.stack = fr.stack[:n-argc]
+			if e.m.Host == nil {
+				return 0, lvm.Throwf("no host environment for %s", name)
+			}
+			r, err := e.m.Host.HostCall(name, args)
+			if err != nil {
+				return 0, err
+			}
+			fr.stack = append(fr.stack, r)
+			return next, nil
+		}, nil
+
+	case lvm.OpNew:
+		cls := m.Prog.Class(ins.Sym)
+		if cls == nil {
+			return nil, fmt.Errorf("unknown class %q", ins.Sym)
+		}
+		return func(e *env, fr *frame, depth int) (int, error) {
+			fr.stack = append(fr.stack, lvm.Obj(cls.New()))
+			return next, nil
+		}, nil
+
+	case lvm.OpThrow:
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			v := fr.stack[n-1]
+			fr.stack = fr.stack[:n-1]
+			return 0, &lvm.Thrown{Msg: v.String()}
+		}, nil
+
+	case lvm.OpReturn:
+		return func(e *env, fr *frame, depth int) (int, error) {
+			n := len(fr.stack)
+			fr.ret = fr.stack[n-1]
+			fr.stack = fr.stack[:n-1]
+			return retPC, nil
+		}, nil
+
+	case lvm.OpReturnVoid:
+		return func(e *env, fr *frame, depth int) (int, error) {
+			fr.ret = lvm.Value{}
+			return retPC, nil
+		}, nil
+
+	case lvm.OpPop:
+		return func(e *env, fr *frame, depth int) (int, error) {
+			fr.stack = fr.stack[:len(fr.stack)-1]
+			return next, nil
+		}, nil
+
+	case lvm.OpDup:
+		return func(e *env, fr *frame, depth int) (int, error) {
+			fr.stack = append(fr.stack, fr.stack[len(fr.stack)-1])
+			return next, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("unsupported opcode %s", ins.Op)
+}
+
+func compareValues(op lvm.Op, a, b lvm.Value) bool {
+	if a.K == lvm.KStr && b.K == lvm.KStr {
+		switch op {
+		case lvm.OpLt:
+			return a.S < b.S
+		case lvm.OpLe:
+			return a.S <= b.S
+		case lvm.OpGt:
+			return a.S > b.S
+		case lvm.OpGe:
+			return a.S >= b.S
+		}
+	}
+	switch op {
+	case lvm.OpLt:
+		return a.I < b.I
+	case lvm.OpLe:
+		return a.I <= b.I
+	case lvm.OpGt:
+		return a.I > b.I
+	case lvm.OpGe:
+		return a.I >= b.I
+	}
+	return false
+}

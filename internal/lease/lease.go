@@ -1,0 +1,292 @@
+// Package lease implements Jini-style leasing, the mechanism MIDAS uses to
+// make adaptations local in time and space: every distributed extension is
+// leased to its receiver, the extension base keeps the lease alive while the
+// node is in its area, and when renewals stop (the node left, the base died)
+// the holder autonomously expires the grant.
+package lease
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// ID identifies a lease at its grantor.
+type ID string
+
+// Lease is the granted view handed to the holder.
+type Lease struct {
+	ID       ID
+	Expiry   time.Time
+	Duration time.Duration
+}
+
+// Errors returned by the grantor.
+var (
+	ErrUnknownLease = errors.New("lease: unknown lease")
+	ErrExpired      = errors.New("lease: lease expired")
+)
+
+type grant struct {
+	lease    Lease
+	onExpire func(ID)
+	onCancel func(ID)
+}
+
+// Grantor issues and tracks leases (the "landlord" role). Expiry is driven
+// either by the background sweeper (Start/Stop) or by explicit ExpireNow
+// calls under a manual clock.
+type Grantor struct {
+	clk clock.Clock
+
+	mu     sync.Mutex
+	grants map[ID]*grant
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewGrantor returns a Grantor on the given clock.
+func NewGrantor(clk clock.Clock) *Grantor {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Grantor{clk: clk, grants: make(map[ID]*grant)}
+}
+
+// Grant issues a lease for d. onExpire (may be nil) runs when the lease
+// lapses without renewal; it does not run on Cancel.
+func (g *Grantor) Grant(d time.Duration, onExpire func(ID)) Lease {
+	id := ID(randomID())
+	l := Lease{ID: id, Expiry: g.clk.Now().Add(d), Duration: d}
+	g.mu.Lock()
+	g.grants[id] = &grant{lease: l, onExpire: onExpire}
+	g.mu.Unlock()
+	return l
+}
+
+// Renew extends the lease by d from now.
+func (g *Grantor) Renew(id ID, d time.Duration) (Lease, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gr, ok := g.grants[id]
+	if !ok {
+		return Lease{}, ErrUnknownLease
+	}
+	now := g.clk.Now()
+	if gr.lease.Expiry.Before(now) {
+		return Lease{}, ErrExpired
+	}
+	gr.lease.Expiry = now.Add(d)
+	gr.lease.Duration = d
+	return gr.lease, nil
+}
+
+// Cancel revokes the lease without running its expiry callback.
+func (g *Grantor) Cancel(id ID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.grants[id]; !ok {
+		return ErrUnknownLease
+	}
+	delete(g.grants, id)
+	return nil
+}
+
+// Active reports whether the lease exists and has not expired.
+func (g *Grantor) Active(id ID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gr, ok := g.grants[id]
+	return ok && !gr.lease.Expiry.Before(g.clk.Now())
+}
+
+// Len returns the number of tracked (possibly expired, not yet swept) leases.
+func (g *Grantor) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.grants)
+}
+
+// ExpireNow sweeps lapsed leases, firing their expiry callbacks, and returns
+// how many expired.
+func (g *Grantor) ExpireNow() int {
+	now := g.clk.Now()
+	var fired []*grant
+	g.mu.Lock()
+	for id, gr := range g.grants {
+		if gr.lease.Expiry.Before(now) {
+			delete(g.grants, id)
+			fired = append(fired, gr)
+		}
+	}
+	g.mu.Unlock()
+	for _, gr := range fired {
+		if gr.onExpire != nil {
+			gr.onExpire(gr.lease.ID)
+		}
+	}
+	return len(fired)
+}
+
+// Start launches a background sweeper with the given period. It must be
+// paired with Stop.
+func (g *Grantor) Start(period time.Duration) {
+	g.mu.Lock()
+	if g.stop != nil {
+		g.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	g.stop, g.done = stop, done
+	g.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-g.clk.After(period):
+				g.ExpireNow()
+			}
+		}
+	}()
+}
+
+// Stop terminates the background sweeper and waits for it to exit.
+func (g *Grantor) Stop() {
+	g.mu.Lock()
+	stop, done := g.stop, g.done
+	g.stop, g.done = nil, nil
+	g.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// RenewFunc renews a lease at its (possibly remote) grantor.
+type RenewFunc func(id ID, d time.Duration) (Lease, error)
+
+// Renewer keeps one lease alive from the holder side, renewing at a fraction
+// of the lease duration. When a renewal fails — after the configured number
+// of in-lease retries, which matter on lossy wireless links — OnFail runs
+// once and the renewer stops; this is the trigger for a MIDAS base to
+// consider a node departed.
+type Renewer struct {
+	clk      clock.Clock
+	renew    RenewFunc
+	onFail   func(error)
+	lease    Lease
+	fraction float64
+	retries  int
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewRenewer returns a renewer for l. fraction in (0,1) controls when the
+// renewal fires relative to the lease duration (default 0.5).
+func NewRenewer(clk clock.Clock, l Lease, renew RenewFunc, fraction float64, onFail func(error)) *Renewer {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if fraction <= 0 || fraction >= 1 {
+		fraction = 0.5
+	}
+	return &Renewer{
+		clk:      clk,
+		renew:    renew,
+		onFail:   onFail,
+		lease:    l,
+		fraction: fraction,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// SetRetries configures how many additional renewal attempts are made within
+// the remaining lease time before the renewer declares failure (default 0).
+// Retries are spaced so they all fit before the lease would lapse.
+func (r *Renewer) SetRetries(n int) {
+	if n >= 0 {
+		r.retries = n
+	}
+}
+
+// Start launches the renewal loop.
+func (r *Renewer) Start() {
+	go func() {
+		defer close(r.done)
+		for {
+			wait := time.Duration(float64(r.lease.Duration) * r.fraction)
+			if wait <= 0 {
+				wait = time.Millisecond
+			}
+			select {
+			case <-r.stop:
+				return
+			case <-r.clk.After(wait):
+			}
+			l, err := r.renewWithRetry()
+			if err != nil {
+				if r.onFail != nil {
+					r.onFail(err)
+				}
+				return
+			}
+			r.lease = l
+		}
+	}()
+}
+
+func (r *Renewer) renewWithRetry() (Lease, error) {
+	l, err := r.renew(r.lease.ID, r.lease.Duration)
+	if err == nil || r.retries == 0 {
+		return l, err
+	}
+	// Space the retries across the slack remaining before expiry.
+	slack := time.Duration(float64(r.lease.Duration) * (1 - r.fraction))
+	gap := slack / time.Duration(r.retries+1)
+	if gap <= 0 {
+		gap = time.Millisecond
+	}
+	for attempt := 0; attempt < r.retries; attempt++ {
+		select {
+		case <-r.stop:
+			return Lease{}, err
+		case <-r.clk.After(gap):
+		}
+		if l, rerr := r.renew(r.lease.ID, r.lease.Duration); rerr == nil {
+			return l, nil
+		} else {
+			err = rerr
+		}
+	}
+	return Lease{}, err
+}
+
+// Stop halts renewal and waits for the loop to exit. Safe to call multiple
+// times.
+func (r *Renewer) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+func randomID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// counter-free constant would break uniqueness, so panic loudly.
+		panic(fmt.Sprintf("lease: rand: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,161 @@
+package lease
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestGrantRenewExpire(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	g := NewGrantor(clk)
+
+	expired := make(chan ID, 1)
+	l := g.Grant(10*time.Second, func(id ID) { expired <- id })
+	if !g.Active(l.ID) {
+		t.Fatal("fresh lease should be active")
+	}
+
+	clk.Advance(5 * time.Second)
+	if _, err := g.Renew(l.ID, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(8 * time.Second)
+	if n := g.ExpireNow(); n != 0 {
+		t.Fatalf("renewed lease expired early (%d)", n)
+	}
+	clk.Advance(3 * time.Second)
+	if n := g.ExpireNow(); n != 1 {
+		t.Fatalf("expired %d leases, want 1", n)
+	}
+	select {
+	case id := <-expired:
+		if id != l.ID {
+			t.Errorf("expired id %s, want %s", id, l.ID)
+		}
+	default:
+		t.Fatal("expiry callback did not run")
+	}
+	if g.Active(l.ID) {
+		t.Error("expired lease should be inactive")
+	}
+}
+
+func TestRenewExpiredFails(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	g := NewGrantor(clk)
+	l := g.Grant(time.Second, nil)
+	clk.Advance(2 * time.Second)
+	if _, err := g.Renew(l.ID, time.Second); !errors.Is(err, ErrExpired) {
+		t.Fatalf("want ErrExpired, got %v", err)
+	}
+}
+
+func TestCancelSkipsCallback(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	g := NewGrantor(clk)
+	called := false
+	l := g.Grant(time.Second, func(ID) { called = true })
+	if err := g.Cancel(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Second)
+	g.ExpireNow()
+	if called {
+		t.Error("cancel must not fire expiry callback")
+	}
+	if err := g.Cancel(l.ID); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("double cancel: %v", err)
+	}
+	if _, err := g.Renew(l.ID, time.Second); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("renew after cancel: %v", err)
+	}
+}
+
+func TestGrantorSweeper(t *testing.T) {
+	g := NewGrantor(clock.Real{})
+	var mu sync.Mutex
+	expired := 0
+	g.Grant(5*time.Millisecond, func(ID) {
+		mu.Lock()
+		expired++
+		mu.Unlock()
+	})
+	g.Start(2 * time.Millisecond)
+	defer g.Stop()
+	deadline := time.After(time.Second)
+	for {
+		mu.Lock()
+		n := expired
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("sweeper did not expire lease")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestRenewerKeepsAlive(t *testing.T) {
+	g := NewGrantor(clock.Real{})
+	expired := make(chan ID, 1)
+	l := g.Grant(20*time.Millisecond, func(id ID) { expired <- id })
+	r := NewRenewer(clock.Real{}, l, g.Renew, 0.5, nil)
+	r.Start()
+	g.Start(5 * time.Millisecond)
+	defer g.Stop()
+
+	select {
+	case <-expired:
+		t.Fatal("lease expired while renewer active")
+	case <-time.After(100 * time.Millisecond):
+	}
+	r.Stop()
+	select {
+	case <-expired:
+	case <-time.After(time.Second):
+		t.Fatal("lease did not expire after renewer stopped")
+	}
+}
+
+func TestRenewerFailureCallback(t *testing.T) {
+	g := NewGrantor(clock.Real{})
+	l := g.Grant(10*time.Millisecond, nil)
+	// Cancel underneath the renewer so its next renewal fails.
+	if err := g.Cancel(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	failed := make(chan error, 1)
+	r := NewRenewer(clock.Real{}, l, g.Renew, 0.5, func(err error) { failed <- err })
+	r.Start()
+	select {
+	case err := <-failed:
+		if !errors.Is(err, ErrUnknownLease) {
+			t.Errorf("failure err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("renewer did not report failure")
+	}
+	r.Stop()
+}
+
+func TestLeaseIDsUnique(t *testing.T) {
+	g := NewGrantor(clock.Real{})
+	seen := make(map[ID]bool)
+	for i := 0; i < 100; i++ {
+		l := g.Grant(time.Minute, nil)
+		if seen[l.ID] {
+			t.Fatal("duplicate lease ID")
+		}
+		seen[l.ID] = true
+	}
+	if g.Len() != 100 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}

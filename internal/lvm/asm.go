@@ -1,0 +1,521 @@
+package lvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses LVM assembler source into a Program. The syntax is
+// line-oriented:
+//
+//	class Motor
+//	  field speed
+//	  method void rotate(int deg)
+//	    local tmp
+//	    push 0
+//	    store tmp
+//	  loop:
+//	    load tmp
+//	    load deg
+//	    lt
+//	    jmpf done
+//	    ...
+//	    jmp loop
+//	  done:
+//	    retv
+//	  end
+//	end
+//
+// Comments start with ';' or '#'. Labels end with ':'. Parameters and named
+// locals can be referenced by name in load/store. Exception handlers are
+// declared with "handler Lstart Lend Lcatch". Field access on self uses
+// "getself name" / "setself name"; on arbitrary objects "getfield Class.field"
+// / "setfield Class.field". Constants are pushed with "push" followed by an
+// integer, a double-quoted string, true, false or nil.
+func Assemble(src string) (*Program, error) {
+	lines := splitLines(src)
+
+	prog := NewProgram()
+	// Pass 1: declare classes, fields and method headers so that forward
+	// references (new, getfield) resolve.
+	var cur *Class
+	inMethod := false
+	for _, ln := range lines {
+		f := strings.Fields(ln.text)
+		switch {
+		case len(f) >= 2 && f[0] == "class" && !inMethod:
+			cur = NewClass(f[1])
+			prog.AddClass(cur)
+		case len(f) >= 2 && f[0] == "field" && !inMethod:
+			if cur == nil {
+				return nil, ln.errf("field outside class")
+			}
+			cur.AddField(f[1])
+		case len(f) >= 1 && f[0] == "method":
+			if cur == nil {
+				return nil, ln.errf("method outside class")
+			}
+			m, _, err := parseMethodHeader(ln.text)
+			if err != nil {
+				return nil, ln.errf("%v", err)
+			}
+			cur.AddMethod(m)
+			inMethod = true
+		case len(f) == 1 && f[0] == "end":
+			if inMethod {
+				inMethod = false
+			} else {
+				cur = nil
+			}
+		}
+	}
+
+	// Pass 2: assemble method bodies.
+	cur = nil
+	var asm *methodAsm
+	for _, ln := range lines {
+		f := strings.Fields(ln.text)
+		switch {
+		case len(f) >= 2 && f[0] == "class" && asm == nil:
+			cur = prog.Class(f[1])
+		case len(f) >= 2 && f[0] == "field" && asm == nil:
+			// already handled
+		case len(f) >= 1 && f[0] == "method" && asm == nil:
+			_, name, err := parseMethodHeader(ln.text)
+			if err != nil {
+				return nil, ln.errf("%v", err)
+			}
+			asm = newMethodAsm(prog, cur, cur.Methods[name])
+			asm.bindParams(paramNames(ln.text))
+		case len(f) == 1 && f[0] == "end":
+			if asm != nil {
+				if err := asm.finish(); err != nil {
+					return nil, ln.errf("%v", err)
+				}
+				asm = nil
+			} else {
+				cur = nil
+			}
+		default:
+			if asm == nil {
+				return nil, ln.errf("instruction outside method: %s", ln.text)
+			}
+			if err := asm.line(ln.text); err != nil {
+				return nil, ln.errf("%v", err)
+			}
+		}
+	}
+	if asm != nil || cur != nil {
+		return nil, fmt.Errorf("lvm asm: missing end")
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and fixed fixtures.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type srcLine struct {
+	no   int
+	text string
+}
+
+func (l srcLine) errf(format string, args ...any) error {
+	return fmt.Errorf("lvm asm line %d: %s", l.no, fmt.Sprintf(format, args...))
+}
+
+func splitLines(src string) []srcLine {
+	var out []srcLine
+	for i, raw := range strings.Split(src, "\n") {
+		text := raw
+		// Strip comments, respecting string literals.
+		inStr := false
+		for j := 0; j < len(text); j++ {
+			c := text[j]
+			if c == '"' {
+				inStr = !inStr
+			}
+			if !inStr && (c == ';' || c == '#') {
+				text = text[:j]
+				break
+			}
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		out = append(out, srcLine{no: i + 1, text: text})
+	}
+	return out
+}
+
+// parseMethodHeader parses "method RET NAME(TYPE [name], ...)".
+func parseMethodHeader(line string) (*Method, string, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "method"))
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeIdx < open {
+		return nil, "", fmt.Errorf("bad method header %q", line)
+	}
+	head := strings.Fields(rest[:open])
+	if len(head) != 2 {
+		return nil, "", fmt.Errorf("method header needs return type and name: %q", line)
+	}
+	m := &Method{Name: head[1], Return: head[0]}
+	params := strings.TrimSpace(rest[open+1 : closeIdx])
+	if params != "" {
+		for _, p := range strings.Split(params, ",") {
+			pf := strings.Fields(strings.TrimSpace(p))
+			if len(pf) == 0 || len(pf) > 2 {
+				return nil, "", fmt.Errorf("bad parameter %q", p)
+			}
+			m.Params = append(m.Params, pf[0])
+		}
+	}
+	return m, m.Name, nil
+}
+
+// paramNames re-parses the header's parameter names for named local slots.
+func paramNames(line string) []string {
+	open := strings.IndexByte(line, '(')
+	closeIdx := strings.LastIndexByte(line, ')')
+	if open < 0 || closeIdx < open {
+		return nil
+	}
+	params := strings.TrimSpace(line[open+1 : closeIdx])
+	if params == "" {
+		return nil
+	}
+	var names []string
+	for _, p := range strings.Split(params, ",") {
+		pf := strings.Fields(strings.TrimSpace(p))
+		if len(pf) == 2 {
+			names = append(names, pf[1])
+		} else {
+			names = append(names, "")
+		}
+	}
+	return names
+}
+
+type methodAsm struct {
+	prog       *Program
+	cls        *Class
+	m          *Method
+	slots      map[string]int // named locals and params
+	labels     map[string]int
+	fixups     []fixup // jump targets to resolve
+	handlerFix []handlerFixup
+	headerLine string
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+type handlerFixup struct {
+	start, end, target string
+}
+
+func newMethodAsm(prog *Program, cls *Class, m *Method) *methodAsm {
+	a := &methodAsm{
+		prog:   prog,
+		cls:    cls,
+		m:      m,
+		slots:  make(map[string]int),
+		labels: make(map[string]int),
+	}
+	a.slots["self"] = 0
+	return a
+}
+
+// bindParams assigns slots for named parameters from the original header.
+func (a *methodAsm) bindParams(names []string) {
+	for i, n := range names {
+		if n != "" {
+			a.slots[n] = i + 1
+		}
+	}
+}
+
+func (a *methodAsm) emit(i Instr) { a.m.Code = append(a.m.Code, i) }
+
+func (a *methodAsm) constIdx(v Value) int {
+	for i, c := range a.m.Consts {
+		if c.K == v.K && c.Equal(v) {
+			return i
+		}
+	}
+	a.m.Consts = append(a.m.Consts, v)
+	return len(a.m.Consts) - 1
+}
+
+func (a *methodAsm) slot(name string) (int, error) {
+	if i, err := strconv.Atoi(name); err == nil {
+		return i, nil
+	}
+	if s, ok := a.slots[name]; ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("unknown local %q", name)
+}
+
+func (a *methodAsm) fieldSlot(spec string) (int, error) {
+	if i, err := strconv.Atoi(spec); err == nil {
+		return i, nil
+	}
+	// Class.field form.
+	if dot := strings.IndexByte(spec, '.'); dot > 0 {
+		cls := a.prog.Class(spec[:dot])
+		if cls == nil {
+			return 0, fmt.Errorf("unknown class %q", spec[:dot])
+		}
+		if idx, ok := cls.FieldIndex[spec[dot+1:]]; ok {
+			return idx, nil
+		}
+		return 0, fmt.Errorf("unknown field %q", spec)
+	}
+	// Bare name: resolve against the enclosing class.
+	if idx, ok := a.cls.FieldIndex[spec]; ok {
+		return idx, nil
+	}
+	return 0, fmt.Errorf("unknown field %q in class %s", spec, a.cls.Name)
+}
+
+func (a *methodAsm) line(text string) error {
+	if strings.HasSuffix(text, ":") && !strings.ContainsAny(text, " \t") {
+		label := strings.TrimSuffix(text, ":")
+		a.labels[label] = len(a.m.Code)
+		return nil
+	}
+	f := fieldsRespectingStrings(text)
+	op := f[0]
+	switch op {
+	case "local":
+		if len(f) != 2 {
+			return fmt.Errorf("local needs a name")
+		}
+		a.slots[f[1]] = 1 + len(a.m.Params) + a.m.NumLocals
+		a.m.NumLocals++
+		return nil
+	case "locals":
+		n, err := strconv.Atoi(f[1])
+		if err != nil {
+			return err
+		}
+		a.m.NumLocals += n
+		return nil
+	case "param":
+		// "param i name" binds a name to parameter slot i+1.
+		if len(f) != 3 {
+			return fmt.Errorf("param needs index and name")
+		}
+		i, err := strconv.Atoi(f[1])
+		if err != nil {
+			return err
+		}
+		a.slots[f[2]] = i + 1
+		return nil
+	case "params":
+		// "params a b c" binds names to parameter slots 1..n.
+		for i, n := range f[1:] {
+			a.slots[n] = i + 1
+		}
+		return nil
+	case "handler":
+		if len(f) != 4 {
+			return fmt.Errorf("handler needs start end target labels")
+		}
+		a.handlerFix = append(a.handlerFix, handlerFixup{f[1], f[2], f[3]})
+		return nil
+	case "push":
+		if len(f) < 2 {
+			return fmt.Errorf("push needs a literal")
+		}
+		v, err := parseLiteral(strings.TrimSpace(text[len("push"):]))
+		if err != nil {
+			return err
+		}
+		a.emit(Instr{Op: OpConst, A: a.constIdx(v)})
+		return nil
+	case "load", "store":
+		s, err := a.slot(f[1])
+		if err != nil {
+			return err
+		}
+		o := OpLoad
+		if op == "store" {
+			o = OpStore
+		}
+		a.emit(Instr{Op: o, A: s})
+		return nil
+	case "getself", "setself":
+		idx, err := a.fieldSlot(f[1])
+		if err != nil {
+			return err
+		}
+		o := OpGetSelf
+		if op == "setself" {
+			o = OpSetSelf
+		}
+		a.emit(Instr{Op: o, A: idx, Sym: symbolicField(f[1])})
+		return nil
+	case "getfield", "setfield":
+		idx, err := a.fieldSlot(f[1])
+		if err != nil {
+			return err
+		}
+		o := OpGetField
+		if op == "setfield" {
+			o = OpSetField
+		}
+		a.emit(Instr{Op: o, A: idx, Sym: symbolicField(f[1])})
+		return nil
+	case "jmp", "jmpf":
+		o := OpJump
+		if op == "jmpf" {
+			o = OpJumpFalse
+		}
+		a.fixups = append(a.fixups, fixup{pc: len(a.m.Code), label: f[1]})
+		a.emit(Instr{Op: o})
+		return nil
+	case "call":
+		if len(f) != 3 {
+			return fmt.Errorf("call needs method name and argc")
+		}
+		n, err := strconv.Atoi(f[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Instr{Op: OpCall, Sym: f[1], B: n})
+		return nil
+	case "hostcall":
+		if len(f) != 3 {
+			return fmt.Errorf("hostcall needs name and argc")
+		}
+		n, err := strconv.Atoi(f[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Instr{Op: OpHostCall, Sym: f[1], B: n})
+		return nil
+	case "new":
+		if len(f) != 2 {
+			return fmt.Errorf("new needs a class name")
+		}
+		if a.prog.Class(f[1]) == nil {
+			return fmt.Errorf("unknown class %q", f[1])
+		}
+		a.emit(Instr{Op: OpNew, Sym: f[1]})
+		return nil
+	}
+	// Zero-operand ops.
+	simple := map[string]Op{
+		"nop": OpNop, "add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv,
+		"mod": OpMod, "neg": OpNeg, "eq": OpEq, "ne": OpNe, "lt": OpLt,
+		"le": OpLe, "gt": OpGt, "ge": OpGe, "and": OpAnd, "or": OpOr,
+		"not": OpNot, "concat": OpConcat, "len": OpLen, "throw": OpThrow,
+		"ret": OpReturn, "retv": OpReturnVoid, "pop": OpPop, "dup": OpDup,
+	}
+	if o, ok := simple[op]; ok {
+		if len(f) != 1 {
+			return fmt.Errorf("%s takes no operands", op)
+		}
+		a.emit(Instr{Op: o})
+		return nil
+	}
+	return fmt.Errorf("unknown instruction %q", op)
+}
+
+func (a *methodAsm) finish() error {
+	for _, fx := range a.fixups {
+		pc, ok := a.labels[fx.label]
+		if !ok {
+			return fmt.Errorf("undefined label %q", fx.label)
+		}
+		a.m.Code[fx.pc].A = pc
+	}
+	for _, h := range a.handlerFix {
+		start, ok1 := a.labels[h.start]
+		end, ok2 := a.labels[h.end]
+		target, ok3 := a.labels[h.target]
+		if !ok1 || !ok2 || !ok3 {
+			return fmt.Errorf("undefined handler label in %v", h)
+		}
+		a.m.Handlers = append(a.m.Handlers, Handler{Start: start, End: end, Target: target})
+	}
+	// Implicit return for straight-line void code.
+	if len(a.m.Code) == 0 || !isTerminator(a.m.Code[len(a.m.Code)-1].Op) {
+		a.emit(Instr{Op: OpReturnVoid})
+	}
+	return nil
+}
+
+func isTerminator(o Op) bool {
+	return o == OpReturn || o == OpReturnVoid || o == OpJump || o == OpThrow
+}
+
+func parseLiteral(s string) (Value, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "nil":
+		return Nil(), nil
+	case s == "true":
+		return Bool(true), nil
+	case s == "false":
+		return Bool(false), nil
+	case len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"':
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return Nil(), fmt.Errorf("bad string literal %s: %v", s, err)
+		}
+		return Str(unq), nil
+	default:
+		i, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			return Nil(), fmt.Errorf("bad literal %q", s)
+		}
+		return Int(i), nil
+	}
+}
+
+// symbolicField preserves the textual field reference ("speed" or
+// "Motor.speed") on the instruction so that the JIT can register named field
+// join points; purely numeric slot references carry no symbol.
+func symbolicField(spec string) string {
+	if _, err := strconv.Atoi(spec); err == nil {
+		return ""
+	}
+	return spec
+}
+
+func fieldsRespectingStrings(s string) []string {
+	var out []string
+	cur := strings.Builder{}
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' {
+			inStr = !inStr
+		}
+		if !inStr && (c == ' ' || c == '\t') {
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+			continue
+		}
+		cur.WriteByte(c)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package lvm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Disassemble renders a program back into assembler syntax accepted by
+// Assemble. Jump targets become generated labels; constants are inlined as
+// push literals; field accesses keep their symbolic names when available.
+// The output is primarily for debugging woven applications and for
+// round-trip testing of the toolchain.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	names := make([]string, 0, len(p.Classes))
+	for n := range p.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		disasmClass(&b, p.Classes[n])
+	}
+	return b.String()
+}
+
+func disasmClass(b *strings.Builder, c *Class) {
+	fmt.Fprintf(b, "class %s\n", c.Name)
+	for _, f := range c.Fields {
+		fmt.Fprintf(b, "  field %s\n", f)
+	}
+	methods := make([]string, 0, len(c.Methods))
+	for n := range c.Methods {
+		methods = append(methods, n)
+	}
+	sort.Strings(methods)
+	for _, n := range methods {
+		disasmMethod(b, c.Methods[n])
+	}
+	b.WriteString("end\n")
+}
+
+func disasmMethod(b *strings.Builder, m *Method) {
+	fmt.Fprintf(b, "  method %s %s(%s)\n", m.Return, m.Name, strings.Join(m.Params, ", "))
+	if m.NumLocals > 0 {
+		fmt.Fprintf(b, "    locals %d\n", m.NumLocals)
+	}
+	// Collect label targets: jumps plus handler boundaries.
+	targets := make(map[int]string)
+	label := func(pc int) string {
+		if l, ok := targets[pc]; ok {
+			return l
+		}
+		l := "L" + strconv.Itoa(len(targets))
+		targets[pc] = l
+		return l
+	}
+	for _, ins := range m.Code {
+		if ins.Op == OpJump || ins.Op == OpJumpFalse {
+			label(ins.A)
+		}
+	}
+	for _, h := range m.Handlers {
+		label(h.Start)
+		label(h.End)
+		label(h.Target)
+	}
+
+	for pc, ins := range m.Code {
+		if l, ok := targets[pc]; ok {
+			fmt.Fprintf(b, "  %s:\n", l)
+		}
+		b.WriteString("    ")
+		b.WriteString(disasmInstr(m, ins, targets))
+		b.WriteByte('\n')
+	}
+	// Labels pointing one past the last instruction (handler end ranges).
+	if l, ok := targets[len(m.Code)]; ok {
+		fmt.Fprintf(b, "  %s:\n", l)
+	}
+	for _, h := range m.Handlers {
+		fmt.Fprintf(b, "    handler %s %s %s\n", targets[h.Start], targets[h.End], targets[h.Target])
+	}
+	b.WriteString("  end\n")
+}
+
+func disasmInstr(m *Method, ins Instr, targets map[int]string) string {
+	switch ins.Op {
+	case OpConst:
+		return "push " + literal(m.Consts[ins.A])
+	case OpLoad:
+		return "load " + strconv.Itoa(ins.A)
+	case OpStore:
+		return "store " + strconv.Itoa(ins.A)
+	case OpGetSelf, OpSetSelf, OpGetField, OpSetField:
+		op := map[Op]string{
+			OpGetSelf: "getself", OpSetSelf: "setself",
+			OpGetField: "getfield", OpSetField: "setfield",
+		}[ins.Op]
+		if ins.Sym != "" {
+			return op + " " + ins.Sym
+		}
+		return op + " " + strconv.Itoa(ins.A)
+	case OpJump:
+		return "jmp " + targets[ins.A]
+	case OpJumpFalse:
+		return "jmpf " + targets[ins.A]
+	case OpCall:
+		return fmt.Sprintf("call %s %d", ins.Sym, ins.B)
+	case OpHostCall:
+		return fmt.Sprintf("hostcall %s %d", ins.Sym, ins.B)
+	case OpNew:
+		return "new " + ins.Sym
+	default:
+		return ins.Op.String()
+	}
+}
+
+func literal(v Value) string {
+	switch v.K {
+	case KNil:
+		return "nil"
+	case KBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KStr:
+		return strconv.Quote(v.S)
+	default:
+		// Bytes/objects cannot appear in assembled constant pools.
+		return strconv.Quote(v.String())
+	}
+}

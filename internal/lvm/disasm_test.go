@@ -1,0 +1,128 @@
+package lvm
+
+import (
+	"strings"
+	"testing"
+)
+
+const disasmFixture = `
+class Counter
+  field count
+  method int inc(int by)
+    getself count
+    load by
+    add
+    dup
+    setself count
+    ret
+  end
+  method int guarded(int a, int b)
+  s:
+    load a
+    load b
+    div
+    ret
+  e:
+  h:
+    pop
+    push -1
+    ret
+    handler s e h
+  end
+  method int loopy(int n)
+    local acc
+    push 0
+    store acc
+  top:
+    load n
+    push 0
+    gt
+    jmpf out
+    load acc
+    load n
+    add
+    store acc
+    load n
+    push 1
+    sub
+    store n
+    jmp top
+  out:
+    load acc
+    ret
+  end
+end`
+
+// TestDisassembleRoundTrip verifies that disassembled output reassembles
+// into a semantically equivalent program.
+func TestDisassembleRoundTrip(t *testing.T) {
+	orig := MustAssemble(disasmFixture)
+	text := Disassemble(orig)
+	re, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble failed: %v\n%s", err, text)
+	}
+
+	type call struct {
+		method string
+		args   []Value
+		want   int64
+		fails  bool
+	}
+	calls := []call{
+		{method: "inc", args: []Value{Int(5)}, want: 5},
+		{method: "guarded", args: []Value{Int(10), Int(2)}, want: 5},
+		{method: "guarded", args: []Value{Int(10), Int(0)}, want: -1},
+		{method: "loopy", args: []Value{Int(10)}, want: 55},
+	}
+	for _, c := range calls {
+		for name, prog := range map[string]*Program{"orig": orig, "reassembled": re} {
+			in := NewInterp(prog, nil)
+			self := prog.Class("Counter").New()
+			got, err := in.Invoke(prog.Method("Counter", c.method), self, c.args)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, c.method, err)
+			}
+			if got.I != c.want {
+				t.Errorf("%s %s = %d, want %d", name, c.method, got.I, c.want)
+			}
+		}
+	}
+}
+
+func TestDisassembleShape(t *testing.T) {
+	text := Disassemble(MustAssemble(disasmFixture))
+	for _, want := range []string{
+		"class Counter", "field count", "method int inc(int)",
+		"handler ", "jmpf ", "push -1", "getself count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDisassembleLiterals(t *testing.T) {
+	prog := MustAssemble(`
+class C
+  method void m()
+    push "quoted \"str\""
+    pop
+    push true
+    pop
+    push nil
+    pop
+    push false
+    pop
+  end
+end`)
+	text := Disassemble(prog)
+	re, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	in := NewInterp(re, nil)
+	if _, err := in.Invoke(re.Method("C", "m"), re.Class("C").New(), nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package lvm
+
+import "fmt"
+
+// Op is an LVM opcode.
+type Op uint8
+
+// Opcodes. A is the primary integer operand; B the secondary. Sym carries a
+// symbolic operand (method name, host-call name or class name).
+const (
+	OpNop Op = iota
+	// OpConst pushes Consts[A].
+	OpConst
+	// OpLoad pushes local slot A (slot 0 is self, 1..n the parameters).
+	OpLoad
+	// OpStore pops into local slot A.
+	OpStore
+	// OpGetField pops an object and pushes its field slot A.
+	OpGetField
+	// OpSetField pops value then object and stores into field slot A.
+	OpSetField
+	// OpGetSelf pushes field slot A of self (shorthand for Load 0; GetField).
+	OpGetSelf
+	// OpSetSelf pops a value into field slot A of self.
+	OpSetSelf
+	// Arithmetic: pop two ints, push result.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	// OpNeg negates the int on top of the stack.
+	OpNeg
+	// Comparisons: pop two values, push bool.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// Logic.
+	OpAnd
+	OpOr
+	OpNot
+	// OpConcat pops two values and pushes their string concatenation.
+	OpConcat
+	// OpLen pushes the length of the string/bytes on top of the stack.
+	OpLen
+	// OpJump jumps to pc A.
+	OpJump
+	// OpJumpFalse pops a value and jumps to pc A when it is falsy.
+	OpJumpFalse
+	// OpCall pops B arguments then a receiver object and invokes method Sym
+	// on it; the result (or nil for void) is pushed.
+	OpCall
+	// OpHostCall pops B arguments and calls host function Sym, pushing the
+	// result. Host calls are the only way LVM code touches the outside world
+	// and are gated by the sandbox.
+	OpHostCall
+	// OpNew pushes a new instance of class Sym.
+	OpNew
+	// OpThrow pops a value and raises it as an exception.
+	OpThrow
+	// OpReturn pops the return value and leaves the method.
+	OpReturn
+	// OpReturnVoid leaves the method with a nil result.
+	OpReturnVoid
+	// OpPop discards the top of the stack.
+	OpPop
+	// OpDup duplicates the top of the stack.
+	OpDup
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpConst: "const", OpLoad: "load", OpStore: "store",
+	OpGetField: "getfield", OpSetField: "setfield",
+	OpGetSelf: "getself", OpSetSelf: "setself",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg",
+	OpEq:  "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpAnd: "and", OpOr: "or", OpNot: "not",
+	OpConcat: "concat", OpLen: "len",
+	OpJump: "jmp", OpJumpFalse: "jmpf",
+	OpCall: "call", OpHostCall: "hostcall", OpNew: "new",
+	OpThrow: "throw", OpReturn: "ret", OpReturnVoid: "retv",
+	OpPop: "pop", OpDup: "dup",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is a single LVM instruction.
+type Instr struct {
+	Op  Op
+	A   int
+	B   int
+	Sym string
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpCall, OpHostCall:
+		return fmt.Sprintf("%s %s %d", i.Op, i.Sym, i.B)
+	case OpNew:
+		return fmt.Sprintf("%s %s", i.Op, i.Sym)
+	case OpConst, OpLoad, OpStore, OpGetField, OpSetField, OpGetSelf,
+		OpSetSelf, OpJump, OpJumpFalse:
+		return fmt.Sprintf("%s %d", i.Op, i.A)
+	default:
+		return i.Op.String()
+	}
+}

@@ -1,0 +1,521 @@
+package lvm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, prog *Program, class, method string, args ...Value) (Value, error) {
+	t.Helper()
+	m := prog.Method(class, method)
+	if m == nil {
+		t.Fatalf("no method %s.%s", class, method)
+	}
+	in := NewInterp(prog, nil)
+	cls := prog.Class(class)
+	return in.Invoke(m, cls.New(), args)
+}
+
+func TestArithmetic(t *testing.T) {
+	prog := MustAssemble(`
+class Math
+  method int add3(int a, int b, int c)
+    load a
+    load b
+    add
+    load c
+    add
+    ret
+  end
+  method int mix(int a, int b)
+    load a
+    load b
+    mul
+    load a
+    load b
+    sub
+    add
+    ret
+  end
+end`)
+	v, err := run(t, prog, "Math", "add3", Int(1), Int(2), Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 6 {
+		t.Errorf("add3 = %d, want 6", v.I)
+	}
+	v, err = run(t, prog, "Math", "mix", Int(7), Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 7*5+7-5 {
+		t.Errorf("mix = %d, want %d", v.I, 7*5+7-5)
+	}
+}
+
+func TestLoopAndBranch(t *testing.T) {
+	prog := MustAssemble(`
+class Math
+  method int sumTo(int n)
+    local acc
+    local i
+    push 0
+    store acc
+    push 1
+    store i
+  loop:
+    load i
+    load n
+    le
+    jmpf done
+    load acc
+    load i
+    add
+    store acc
+    load i
+    push 1
+    add
+    store i
+    jmp loop
+  done:
+    load acc
+    ret
+  end
+end`)
+	tests := []struct {
+		n, want int64
+	}{
+		{0, 0}, {1, 1}, {10, 55}, {100, 5050},
+	}
+	for _, tt := range tests {
+		v, err := run(t, prog, "Math", "sumTo", Int(tt.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.I != tt.want {
+			t.Errorf("sumTo(%d) = %d, want %d", tt.n, v.I, tt.want)
+		}
+	}
+}
+
+func TestFieldsAndObjects(t *testing.T) {
+	prog := MustAssemble(`
+class Counter
+  field count
+  method void init()
+    push 0
+    setself count
+  end
+  method int inc()
+    getself count
+    push 1
+    add
+    dup
+    setself count
+    ret
+  end
+end
+class Factory
+  method int spin(int n)
+    local c
+    local i
+    new Counter
+    store c
+    load c
+    call init 0
+    pop
+    push 0
+    store i
+  loop:
+    load i
+    load n
+    lt
+    jmpf done
+    load c
+    call inc 0
+    pop
+    load i
+    push 1
+    add
+    store i
+    jmp loop
+  done:
+    load c
+    getfield Counter.count
+    ret
+  end
+end`)
+	v, err := run(t, prog, "Factory", "spin", Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 5 {
+		t.Errorf("spin(5) = %d, want 5", v.I)
+	}
+}
+
+func TestExceptionHandling(t *testing.T) {
+	prog := MustAssemble(`
+class App
+  method str guarded(int x)
+  tryStart:
+    load x
+    push 0
+    eq
+    jmpf ok
+    push "boom"
+    throw
+  ok:
+    push "fine"
+    ret
+  tryEnd:
+  catch:
+    push "caught:"
+    ; exception message is on the stack... swap not available, rebuild
+    concat
+    ret
+    handler tryStart tryEnd catch
+  end
+end`)
+	v, err := run(t, prog, "App", "guarded", Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.S != "fine" {
+		t.Errorf("guarded(1) = %q, want fine", v.S)
+	}
+	v, err = run(t, prog, "App", "guarded", Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// concat pops (msg, "caught:") in stack order: message was pushed by the
+	// handler entry, then "caught:", so concat yields msg+"caught:".
+	if v.S != "boomcaught:" {
+		t.Errorf("guarded(0) = %q", v.S)
+	}
+}
+
+func TestUncaughtExceptionPropagates(t *testing.T) {
+	prog := MustAssemble(`
+class App
+  method void blow()
+    push "kaput"
+    throw
+  end
+  method void indirect()
+    load self
+    call blow 0
+    pop
+  end
+end`)
+	_, err := run(t, prog, "App", "indirect")
+	var thrown *Thrown
+	if !errors.As(err, &thrown) {
+		t.Fatalf("want *Thrown, got %v", err)
+	}
+	if thrown.Msg != "kaput" {
+		t.Errorf("msg = %q", thrown.Msg)
+	}
+}
+
+func TestDivideByZeroIsCatchable(t *testing.T) {
+	prog := MustAssemble(`
+class App
+  method int safeDiv(int a, int b)
+  s:
+    load a
+    load b
+    div
+    ret
+  e:
+  h:
+    pop
+    push -1
+    ret
+    handler s e h
+  end
+end`)
+	v, err := run(t, prog, "App", "safeDiv", Int(10), Int(2))
+	if err != nil || v.I != 5 {
+		t.Fatalf("safeDiv(10,2) = %v, %v", v, err)
+	}
+	v, err = run(t, prog, "App", "safeDiv", Int(10), Int(0))
+	if err != nil || v.I != -1 {
+		t.Fatalf("safeDiv(10,0) = %v, %v", v, err)
+	}
+}
+
+func TestHostCall(t *testing.T) {
+	prog := MustAssemble(`
+class App
+  method int probe(int x)
+    load x
+    hostcall double 1
+    ret
+  end
+end`)
+	host := HostMap{
+		"double": func(args []Value) (Value, error) {
+			return Int(args[0].I * 2), nil
+		},
+	}
+	in := NewInterp(prog, host)
+	m := prog.Method("App", "probe")
+	v, err := in.Invoke(m, prog.Class("App").New(), []Value{Int(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 42 {
+		t.Errorf("probe = %d, want 42", v.I)
+	}
+}
+
+func TestUnknownHostCallIsThrown(t *testing.T) {
+	prog := MustAssemble(`
+class App
+  method void bad()
+    hostcall nothere 0
+    pop
+  end
+end`)
+	in := NewInterp(prog, HostMap{})
+	_, err := in.Invoke(prog.Method("App", "bad"), prog.Class("App").New(), nil)
+	var thrown *Thrown
+	if !errors.As(err, &thrown) {
+		t.Fatalf("want thrown, got %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	prog := MustAssemble(`
+class App
+  method void spin()
+  loop:
+    jmp loop
+  end
+end`)
+	in := NewInterp(prog, nil)
+	in.MaxSteps = 1000
+	_, err := in.Invoke(prog.Method("App", "spin"), prog.Class("App").New(), nil)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("want ErrStepBudget, got %v", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	prog := MustAssemble(`
+class App
+  method void rec()
+    load self
+    call rec 0
+    pop
+  end
+end`)
+	in := NewInterp(prog, nil)
+	_, err := in.Invoke(prog.Method("App", "rec"), prog.Class("App").New(), nil)
+	if !errors.Is(err, ErrStackDepth) {
+		t.Fatalf("want ErrStackDepth, got %v", err)
+	}
+}
+
+func TestStringsAndComparison(t *testing.T) {
+	prog := MustAssemble(`
+class App
+  method str greet(str name)
+    push "hello, "
+    load name
+    concat
+    ret
+  end
+  method bool isAbc(str s)
+    load s
+    push "abc"
+    eq
+    ret
+  end
+  method int strlen(str s)
+    load s
+    len
+    ret
+  end
+end`)
+	v, err := run(t, prog, "App", "greet", Str("world"))
+	if err != nil || v.S != "hello, world" {
+		t.Fatalf("greet = %v, %v", v, err)
+	}
+	v, _ = run(t, prog, "App", "isAbc", Str("abc"))
+	if !v.AsBool() {
+		t.Error("isAbc(abc) = false")
+	}
+	v, _ = run(t, prog, "App", "strlen", Str("four"))
+	if v.I != 4 {
+		t.Errorf("strlen = %d", v.I)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"undefined label", "class C\nmethod void m()\njmp nowhere\nend\nend", "undefined label"},
+		{"unknown instr", "class C\nmethod void m()\nfrobnicate\nend\nend", "unknown instruction"},
+		{"field outside class", "field x", "field outside class"},
+		{"instr outside method", "class C\npush 1\nend", "instruction outside method"},
+		{"unknown local", "class C\nmethod void m()\nload zz\nend\nend", "unknown local"},
+		{"unknown class in new", "class C\nmethod void m()\nnew Nope\nend\nend", "unknown class"},
+		{"unknown field", "class C\nmethod void m()\ngetself nope\nend\nend", "unknown field"},
+		{"missing end", "class C\nmethod void m()\nretv", "missing end"},
+		{"bad literal", "class C\nmethod void m()\npush @@\nend\nend", "bad literal"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble(tt.src)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestValueEqualProperties(t *testing.T) {
+	// Reflexivity of Equal over ints and strings.
+	if err := quick.Check(func(i int64, s string) bool {
+		return Int(i).Equal(Int(i)) && Str(s).Equal(Str(s))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Int/Str never equal across kinds.
+	if err := quick.Check(func(i int64, s string) bool {
+		return !Int(i).Equal(Str(s))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Bytes equality is content equality.
+	if err := quick.Check(func(b []byte) bool {
+		c := make([]byte, len(b))
+		copy(c, b)
+		return Bytes(b).Equal(Bytes(c))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpArithmeticMatchesGo(t *testing.T) {
+	prog := MustAssemble(`
+class Math
+  method int poly(int a, int b)
+    load a
+    load a
+    mul
+    load b
+    push 3
+    mul
+    add
+    push 7
+    sub
+    ret
+  end
+end`)
+	in := NewInterp(prog, nil)
+	m := prog.Method("Math", "poly")
+	self := prog.Class("Math").New()
+	if err := quick.Check(func(a, b int32) bool {
+		v, err := in.Invoke(m, self, []Value{Int(int64(a)), Int(int64(b))})
+		if err != nil {
+			return false
+		}
+		want := int64(a)*int64(a) + int64(b)*3 - 7
+		return v.I == want
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	prog := MustAssemble(`
+class Motor
+  method void rotate(int deg, bool fast)
+    retv
+  end
+end`)
+	got := prog.Method("Motor", "rotate").String()
+	want := "void Motor.rotate(int, bool)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestObjectFieldByName(t *testing.T) {
+	c := NewClass("C")
+	c.AddField("x")
+	o := c.New()
+	if !o.SetFieldByName("x", Int(9)) {
+		t.Fatal("SetFieldByName failed")
+	}
+	v, ok := o.FieldByName("x")
+	if !ok || v.I != 9 {
+		t.Errorf("FieldByName = %v, %v", v, ok)
+	}
+	if _, ok := o.FieldByName("nope"); ok {
+		t.Error("FieldByName(nope) should fail")
+	}
+	if o.SetFieldByName("nope", Int(1)) {
+		t.Error("SetFieldByName(nope) should fail")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpCall, Sym: "inc", B: 0}, "call inc 0"},
+		{Instr{Op: OpConst, A: 3}, "const 3"},
+		{Instr{Op: OpAdd}, "add"},
+		{Instr{Op: OpNew, Sym: "C"}, "new C"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.in.Op, got, tt.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Nil(), "nil"},
+		{Int(-3), "-3"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Str("x"), "x"},
+		{Bytes([]byte{1, 2}), "bytes[2]"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.v.K, got, tt.want)
+		}
+	}
+}
+
+func TestWrongArity(t *testing.T) {
+	prog := MustAssemble(`
+class App
+  method int id(int x)
+    load x
+    ret
+  end
+end`)
+	_, err := run(t, prog, "App", "id")
+	if err == nil {
+		t.Fatal("want arity error")
+	}
+}

@@ -1,0 +1,194 @@
+// Package lvm implements the LVM, a small stack-based virtual machine that
+// stands in for the LeJOS tiny JVM used by the paper. Application code (robot
+// control programs, synthetic workloads) and mobile extension advice are both
+// expressed as LVM bytecode. The companion package internal/jit plays the role
+// of the JIT compiler that PROSE instruments with minimal hook stubs.
+package lvm
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KNil Kind = iota
+	KInt
+	KBool
+	KStr
+	KBytes
+	KObj
+)
+
+// String returns the type name used in signatures and diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KNil:
+		return "nil"
+	case KInt:
+		return "int"
+	case KBool:
+		return "bool"
+	case KStr:
+		return "str"
+	case KBytes:
+		return "bytes"
+	case KObj:
+		return "obj"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is an LVM runtime value. The zero Value is nil.
+type Value struct {
+	K Kind
+	I int64
+	S string
+	B []byte
+	O *Object
+}
+
+// Convenience constructors.
+
+// Nil returns the nil value.
+func Nil() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{K: KInt, I: i} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{K: KBool, I: i}
+}
+
+// Str returns a string value.
+func Str(s string) Value { return Value{K: KStr, S: s} }
+
+// Bytes returns a byte-slice value. The slice is not copied.
+func Bytes(b []byte) Value { return Value{K: KBytes, B: b} }
+
+// Obj returns an object-reference value.
+func Obj(o *Object) Value { return Value{K: KObj, O: o} }
+
+// AsBool reports the truthiness of v: false for nil, zero int and false.
+func (v Value) AsBool() bool {
+	switch v.K {
+	case KBool, KInt:
+		return v.I != 0
+	case KNil:
+		return false
+	case KStr:
+		return v.S != ""
+	case KBytes:
+		return len(v.B) > 0
+	default:
+		return v.O != nil
+	}
+}
+
+// AsInt returns the integer interpretation of v (bools are 0/1).
+func (v Value) AsInt() int64 { return v.I }
+
+// Equal reports deep equality of two values. Byte slices compare by content;
+// objects compare by identity.
+func (v Value) Equal(w Value) bool {
+	if v.K != w.K {
+		return false
+	}
+	switch v.K {
+	case KNil:
+		return true
+	case KInt, KBool:
+		return v.I == w.I
+	case KStr:
+		return v.S == w.S
+	case KBytes:
+		if len(v.B) != len(w.B) {
+			return false
+		}
+		for i := range v.B {
+			if v.B[i] != w.B[i] {
+				return false
+			}
+		}
+		return true
+	case KObj:
+		return v.O == w.O
+	default:
+		return false
+	}
+}
+
+// String renders a value for diagnostics and logging extensions.
+func (v Value) String() string {
+	switch v.K {
+	case KNil:
+		return "nil"
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KStr:
+		return v.S
+	case KBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.B))
+	case KObj:
+		if v.O == nil {
+			return "obj(nil)"
+		}
+		return "obj(" + v.O.Class.Name + ")"
+	default:
+		return "invalid"
+	}
+}
+
+// Object is an instance of a Class with one slot per declared field.
+type Object struct {
+	Class  *Class
+	Fields []Value
+}
+
+// Get returns the value of field slot i.
+func (o *Object) Get(i int) Value {
+	if i < 0 || i >= len(o.Fields) {
+		return Nil()
+	}
+	return o.Fields[i]
+}
+
+// Set stores v into field slot i.
+func (o *Object) Set(i int, v Value) {
+	if i >= 0 && i < len(o.Fields) {
+		o.Fields[i] = v
+	}
+}
+
+// FieldByName returns the value of the named field and whether it exists.
+func (o *Object) FieldByName(name string) (Value, bool) {
+	idx, ok := o.Class.FieldIndex[name]
+	if !ok {
+		return Nil(), false
+	}
+	return o.Fields[idx], true
+}
+
+// SetFieldByName stores v into the named field, reporting whether it exists.
+func (o *Object) SetFieldByName(name string, v Value) bool {
+	idx, ok := o.Class.FieldIndex[name]
+	if !ok {
+		return false
+	}
+	o.Fields[idx] = v
+	return true
+}

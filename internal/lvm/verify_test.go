@@ -1,0 +1,178 @@
+package lvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyAcceptsAssembledPrograms(t *testing.T) {
+	// Everything the assembler produces for well-formed sources must verify.
+	for i, src := range []string{disasmFixture, lvmFixtureA, lvmFixtureB, robotVerifySrc} {
+		prog, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("fixture %d: %v", i, err)
+		}
+		if err := VerifyProgram(prog); err != nil {
+			t.Errorf("fixture %d: %v", i, err)
+		}
+	}
+}
+
+const robotVerifySrc = `
+class Robot
+  field pos
+  method void move(int d)
+    getself pos
+    load d
+    add
+    setself pos
+  end
+  method int loop(int n)
+    local acc
+    push 0
+    store acc
+  top:
+    load n
+    push 0
+    gt
+    jmpf out
+    load acc
+    load n
+    add
+    store acc
+    load n
+    push 1
+    sub
+    store n
+    jmp top
+  out:
+    load acc
+    ret
+  end
+end`
+
+func buildMethod(code []Instr, consts []Value, params int) (*Program, *Method) {
+	p := NewProgram()
+	c := NewClass("C")
+	m := &Method{Name: "m", Return: "void", Code: code, Consts: consts}
+	for i := 0; i < params; i++ {
+		m.Params = append(m.Params, "int")
+	}
+	c.AddMethod(m)
+	p.AddClass(c)
+	return p, m
+}
+
+func TestVerifyRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name    string
+		code    []Instr
+		consts  []Value
+		wantSub string
+	}{
+		{
+			name:    "empty body",
+			code:    nil,
+			wantSub: "empty body",
+		},
+		{
+			name:    "stack underflow",
+			code:    []Instr{{Op: OpAdd}, {Op: OpReturnVoid}},
+			wantSub: "underflow",
+		},
+		{
+			name:    "const out of range",
+			code:    []Instr{{Op: OpConst, A: 3}, {Op: OpReturnVoid}},
+			wantSub: "const index",
+		},
+		{
+			name:    "load out of range",
+			code:    []Instr{{Op: OpLoad, A: 9}, {Op: OpReturnVoid}},
+			wantSub: "load slot",
+		},
+		{
+			name:    "jump out of range",
+			code:    []Instr{{Op: OpJump, A: 99}},
+			wantSub: "out of range",
+		},
+		{
+			name: "inconsistent depth",
+			code: []Instr{
+				{Op: OpConst, A: 0},     // 0: push
+				{Op: OpJumpFalse, A: 3}, // 1: pops cond... depth 0 -> branch
+				{Op: OpConst, A: 0},     // 2: push (depth 1 at pc 3 via fallthrough)
+				{Op: OpReturnVoid},      // 3: reached with depth 0 and 1
+			},
+			consts:  []Value{Int(1)},
+			wantSub: "inconsistent stack depth",
+		},
+		{
+			name:    "falls off the end",
+			code:    []Instr{{Op: OpNop}},
+			wantSub: "falls off the end",
+		},
+		{
+			name:    "return without value",
+			code:    []Instr{{Op: OpReturn}},
+			wantSub: "underflow",
+		},
+		{
+			name:    "unknown class in new",
+			code:    []Instr{{Op: OpNew, Sym: "Ghost"}, {Op: OpPop}, {Op: OpReturnVoid}},
+			wantSub: "unknown class",
+		},
+		{
+			name:    "call needs receiver",
+			code:    []Instr{{Op: OpCall, Sym: "x", B: 0}, {Op: OpPop}, {Op: OpReturnVoid}},
+			wantSub: "underflow",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, m := buildMethod(tt.code, tt.consts, 0)
+			err := VerifyMethod(p, m)
+			if err == nil {
+				t.Fatal("verification passed")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestVerifyHandlerRanges(t *testing.T) {
+	p, m := buildMethod([]Instr{{Op: OpReturnVoid}}, nil, 0)
+	m.Handlers = []Handler{{Start: 0, End: 5, Target: 0}}
+	if err := VerifyMethod(p, m); err == nil {
+		t.Error("bad handler end accepted")
+	}
+	m.Handlers = []Handler{{Start: 0, End: 1, Target: 7}}
+	if err := VerifyMethod(p, m); err == nil {
+		t.Error("bad handler target accepted")
+	}
+}
+
+func TestVerifyHandlerEntryDepth(t *testing.T) {
+	// Handler entry receives the message on the stack; a handler that pops
+	// twice must be rejected.
+	prog := MustAssemble(`
+class C
+  method void m()
+  s:
+    push 1
+    pop
+  e:
+    retv
+  h:
+    pop
+    pop
+    retv
+    handler s e h
+  end
+end`)
+	err := VerifyMethod(prog, prog.Method("C", "m"))
+	if err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Errorf("handler over-pop: %v", err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package registry implements the Jini-like lookup service used for service
+// detection and brokerage (§3.3): adaptation services advertise themselves as
+// leased service items, extension bases find them by template or watch for
+// their arrival through remote events.
+package registry
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/lease"
+)
+
+// ServiceItem is one advertised service.
+type ServiceItem struct {
+	ID    string // globally unique service id chosen by the registrant
+	Name  string // service type, e.g. "midas.adaptation"
+	Addr  string // transport address the service is reachable at
+	Attrs map[string]string
+}
+
+// Template selects service items: Name may contain '*' wildcards; all Attrs
+// must be present with equal values. The zero Template matches everything.
+type Template struct {
+	Name  string
+	Attrs map[string]string
+}
+
+// Matches reports whether item satisfies the template.
+func (t Template) Matches(item ServiceItem) bool {
+	if t.Name != "" && !globMatch(t.Name, item.Name) {
+		return false
+	}
+	for k, v := range t.Attrs {
+		got, ok := item.Attrs[k]
+		if !ok || got != v {
+			return false
+		}
+	}
+	return true
+}
+
+// EventKind discriminates watcher notifications.
+type EventKind uint8
+
+// Watcher event kinds.
+const (
+	Added EventKind = iota + 1
+	Removed
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Added:
+		return "added"
+	case Removed:
+		return "removed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event notifies a watcher of a registration change.
+type Event struct {
+	Kind EventKind
+	Item ServiceItem
+}
+
+// ErrUnknownService is returned for operations on unregistered services.
+var ErrUnknownService = errors.New("registry: unknown service")
+
+type entry struct {
+	item    ServiceItem
+	leaseID lease.ID
+}
+
+type watcher struct {
+	id        string
+	tmpl      Template
+	notify    func(Event)
+	onRemoved func()
+	leaseID   lease.ID
+}
+
+// Lookup is the in-memory lookup service core. Remote access is provided by
+// Server/Client in this package.
+type Lookup struct {
+	grantor *lease.Grantor
+
+	mu       sync.Mutex
+	items    map[string]*entry // by service ID
+	byLease  map[lease.ID]string
+	watchers map[string]*watcher
+	nextW    int
+}
+
+// NewLookup returns an empty lookup service on clk.
+func NewLookup(clk clock.Clock) *Lookup {
+	return &Lookup{
+		grantor:  lease.NewGrantor(clk),
+		items:    make(map[string]*entry),
+		byLease:  make(map[lease.ID]string),
+		watchers: make(map[string]*watcher),
+	}
+}
+
+// Grantor exposes the lease grantor (for sweeping or Start/Stop).
+func (l *Lookup) Grantor() *lease.Grantor { return l.grantor }
+
+// Register advertises item for the lease duration. Re-registering an existing
+// ID refreshes the item and returns a fresh lease.
+func (l *Lookup) Register(item ServiceItem, dur time.Duration) (lease.Lease, error) {
+	if item.ID == "" || item.Name == "" {
+		return lease.Lease{}, errors.New("registry: item needs ID and Name")
+	}
+	l.mu.Lock()
+	if old, ok := l.items[item.ID]; ok {
+		// Refresh: cancel the old lease silently.
+		delete(l.byLease, old.leaseID)
+		_ = l.grantor.Cancel(old.leaseID)
+		delete(l.items, item.ID)
+	}
+	l.mu.Unlock()
+
+	gl := l.grantor.Grant(dur, func(id lease.ID) { l.expireLease(id) })
+
+	l.mu.Lock()
+	l.items[item.ID] = &entry{item: item, leaseID: gl.ID}
+	l.byLease[gl.ID] = item.ID
+	watchers := l.matchingWatchersLocked(item)
+	l.mu.Unlock()
+
+	for _, w := range watchers {
+		w.notify(Event{Kind: Added, Item: item})
+	}
+	return gl, nil
+}
+
+// Renew extends a registration lease.
+func (l *Lookup) Renew(id lease.ID, dur time.Duration) (lease.Lease, error) {
+	return l.grantor.Renew(id, dur)
+}
+
+// Deregister removes the service with the given service ID.
+func (l *Lookup) Deregister(serviceID string) error {
+	l.mu.Lock()
+	e, ok := l.items[serviceID]
+	if !ok {
+		l.mu.Unlock()
+		return ErrUnknownService
+	}
+	delete(l.items, serviceID)
+	delete(l.byLease, e.leaseID)
+	_ = l.grantor.Cancel(e.leaseID)
+	watchers := l.matchingWatchersLocked(e.item)
+	l.mu.Unlock()
+
+	for _, w := range watchers {
+		w.notify(Event{Kind: Removed, Item: e.item})
+	}
+	return nil
+}
+
+// Find returns all items matching the template, ordered by service ID.
+func (l *Lookup) Find(tmpl Template) []ServiceItem {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []ServiceItem
+	for _, e := range l.items {
+		if tmpl.Matches(e.item) {
+			out = append(out, e.item)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Watch registers notify to run for every future registration change
+// matching tmpl, under a lease. It returns the watcher id and lease.
+func (l *Lookup) Watch(tmpl Template, dur time.Duration, notify func(Event)) (string, lease.Lease) {
+	return l.WatchFull(tmpl, dur, notify, nil)
+}
+
+// WatchFull is Watch with an additional cleanup callback invoked exactly once
+// when the watcher is removed (explicitly or by lease expiry).
+func (l *Lookup) WatchFull(tmpl Template, dur time.Duration, notify func(Event), onRemoved func()) (string, lease.Lease) {
+	l.mu.Lock()
+	l.nextW++
+	id := "w" + strconv.Itoa(l.nextW)
+	w := &watcher{id: id, tmpl: tmpl, notify: notify, onRemoved: onRemoved}
+	l.watchers[id] = w
+	l.mu.Unlock()
+
+	gl := l.grantor.Grant(dur, func(lease.ID) { l.Unwatch(id) })
+	l.mu.Lock()
+	w.leaseID = gl.ID
+	l.mu.Unlock()
+	return id, gl
+}
+
+// RenewWatch extends a watcher's lease.
+func (l *Lookup) RenewWatch(id string, dur time.Duration) (lease.Lease, error) {
+	l.mu.Lock()
+	w, ok := l.watchers[id]
+	l.mu.Unlock()
+	if !ok {
+		return lease.Lease{}, lease.ErrUnknownLease
+	}
+	return l.grantor.Renew(w.leaseID, dur)
+}
+
+// Unwatch removes a watcher.
+func (l *Lookup) Unwatch(id string) {
+	l.mu.Lock()
+	w, ok := l.watchers[id]
+	if ok {
+		delete(l.watchers, id)
+	}
+	l.mu.Unlock()
+	if ok {
+		_ = l.grantor.Cancel(w.leaseID)
+		if w.onRemoved != nil {
+			w.onRemoved()
+		}
+	}
+}
+
+// Len returns the number of live registrations.
+func (l *Lookup) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.items)
+}
+
+// ExpireNow sweeps lapsed leases (registrations and watchers).
+func (l *Lookup) ExpireNow() int { return l.grantor.ExpireNow() }
+
+func (l *Lookup) expireLease(id lease.ID) {
+	l.mu.Lock()
+	serviceID, ok := l.byLease[id]
+	if !ok {
+		l.mu.Unlock()
+		return
+	}
+	e := l.items[serviceID]
+	delete(l.items, serviceID)
+	delete(l.byLease, id)
+	watchers := l.matchingWatchersLocked(e.item)
+	l.mu.Unlock()
+
+	for _, w := range watchers {
+		w.notify(Event{Kind: Removed, Item: e.item})
+	}
+}
+
+func (l *Lookup) matchingWatchersLocked(item ServiceItem) []*watcher {
+	var out []*watcher
+	for _, w := range l.watchers {
+		if w.tmpl.Matches(item) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func globMatch(pattern, s string) bool {
+	if pattern == "*" {
+		return true
+	}
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	last := parts[len(parts)-1]
+	if !strings.HasSuffix(s, last) {
+		return false
+	}
+	s = s[:len(s)-len(last)]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		idx := strings.Index(s, mid)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(mid):]
+	}
+	return true
+}

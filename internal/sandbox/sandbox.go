@@ -1,0 +1,168 @@
+// Package sandbox is the PROSE aspect sandbox: foreign extension code is
+// isolated from the application and can only reach the outside world through
+// host functions gated by capabilities. A receiver node grants each incoming
+// extension a capability set derived from its local policy; anything else is
+// a security violation that aborts the extension (and is not catchable by the
+// extension's own exception handlers).
+package sandbox
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/lvm"
+)
+
+// Capability names one guarded resource class. Host functions are namespaced
+// "<capability>.<operation>", e.g. "store.put" or "net.post".
+type Capability string
+
+// Capabilities used by the built-in extensions.
+const (
+	CapStore   Capability = "store"   // persistent storage at the node
+	CapNet     Capability = "net"     // sending data off-node (e.g. to a base)
+	CapDevice  Capability = "device"  // touching robot hardware
+	CapSession Capability = "session" // reading session/caller information
+	CapClock   Capability = "clock"   // reading the local clock
+	CapLog     Capability = "log"     // emitting local diagnostics
+	CapCtx     Capability = "ctx"     // join-point context access (always safe)
+)
+
+// Perms is an immutable capability set.
+type Perms struct {
+	set map[Capability]struct{}
+}
+
+// NewPerms builds a permission set.
+func NewPerms(caps ...Capability) Perms {
+	s := make(map[Capability]struct{}, len(caps))
+	for _, c := range caps {
+		s[c] = struct{}{}
+	}
+	return Perms{set: s}
+}
+
+// Allows reports whether c is granted.
+func (p Perms) Allows(c Capability) bool {
+	_, ok := p.set[c]
+	return ok
+}
+
+// List returns the granted capabilities in sorted order.
+func (p Perms) List() []Capability {
+	out := make([]Capability, 0, len(p.set))
+	for c := range p.set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the set for diagnostics.
+func (p Perms) String() string {
+	caps := p.List()
+	parts := make([]string, len(caps))
+	for i, c := range caps {
+		parts[i] = string(c)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Violation is the uncatchable error raised when sandboxed code exceeds its
+// capabilities. It deliberately does not unwrap to *lvm.Thrown, so extension
+// bytecode cannot swallow it with a handler.
+type Violation struct {
+	Capability Capability
+	Fn         string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("sandbox: call %q requires capability %q", v.Fn, v.Capability)
+}
+
+// Policy decides which of an extension's requested capabilities a node
+// grants, given the (verified) signer name.
+type Policy interface {
+	Grant(signer string, requested []Capability) (Perms, error)
+}
+
+// PolicyFunc adapts a function to Policy.
+type PolicyFunc func(signer string, requested []Capability) (Perms, error)
+
+// Grant implements Policy.
+func (f PolicyFunc) Grant(signer string, requested []Capability) (Perms, error) {
+	return f(signer, requested)
+}
+
+// AllowAll grants every requested capability.
+func AllowAll() Policy {
+	return PolicyFunc(func(_ string, requested []Capability) (Perms, error) {
+		return NewPerms(requested...), nil
+	})
+}
+
+// Allowlist grants only requested capabilities that appear in the list; a
+// request outside the list is an error (the extension is rejected rather
+// than silently degraded).
+func Allowlist(caps ...Capability) Policy {
+	allowed := NewPerms(caps...)
+	return PolicyFunc(func(_ string, requested []Capability) (Perms, error) {
+		for _, c := range requested {
+			if !allowed.Allows(c) {
+				return Perms{}, fmt.Errorf("sandbox: capability %q not permitted by node policy", c)
+			}
+		}
+		return NewPerms(requested...), nil
+	})
+}
+
+// Host gates an underlying lvm.Host by capability, counting calls for
+// auditing.
+type Host struct {
+	inner lvm.Host
+	perms Perms
+
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+// NewHost wraps inner with the given permission set. CapCtx is always
+// granted: reading the current join point is harmless and every advice needs
+// it.
+func NewHost(inner lvm.Host, perms Perms) *Host {
+	withCtx := append(perms.List(), CapCtx, CapLog)
+	return &Host{inner: inner, perms: NewPerms(withCtx...), calls: make(map[string]int)}
+}
+
+// Perms returns the effective permission set.
+func (h *Host) Perms() Perms { return h.perms }
+
+// HostCall implements lvm.Host with a capability check on the function's
+// namespace.
+func (h *Host) HostCall(name string, args []lvm.Value) (lvm.Value, error) {
+	cap := capabilityOf(name)
+	if !h.perms.Allows(cap) {
+		return lvm.Nil(), &Violation{Capability: cap, Fn: name}
+	}
+	h.mu.Lock()
+	h.calls[name]++
+	h.mu.Unlock()
+	return h.inner.HostCall(name, args)
+}
+
+// CallCount reports how many times the named host function was invoked.
+func (h *Host) CallCount(name string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.calls[name]
+}
+
+func capabilityOf(fn string) Capability {
+	if dot := strings.IndexByte(fn, '.'); dot > 0 {
+		return Capability(fn[:dot])
+	}
+	return Capability(fn)
+}

@@ -1,0 +1,131 @@
+package sandbox
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/lvm"
+)
+
+func baseHost() lvm.HostMap {
+	return lvm.HostMap{
+		"store.put": func(args []lvm.Value) (lvm.Value, error) { return lvm.Bool(true), nil },
+		"net.post":  func(args []lvm.Value) (lvm.Value, error) { return lvm.Bool(true), nil },
+		"ctx.arg":   func(args []lvm.Value) (lvm.Value, error) { return lvm.Int(1), nil },
+		"log.info":  func(args []lvm.Value) (lvm.Value, error) { return lvm.Nil(), nil },
+	}
+}
+
+func TestGatedHostAllowsGranted(t *testing.T) {
+	h := NewHost(baseHost(), NewPerms(CapStore))
+	if _, err := h.HostCall("store.put", nil); err != nil {
+		t.Fatalf("granted call failed: %v", err)
+	}
+	if h.CallCount("store.put") != 1 {
+		t.Error("call count not tracked")
+	}
+}
+
+func TestGatedHostBlocksUngranted(t *testing.T) {
+	h := NewHost(baseHost(), NewPerms(CapStore))
+	_, err := h.HostCall("net.post", nil)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("want Violation, got %v", err)
+	}
+	if v.Capability != CapNet || v.Fn != "net.post" {
+		t.Errorf("violation = %+v", v)
+	}
+	if h.CallCount("net.post") != 0 {
+		t.Error("blocked call must not be counted")
+	}
+}
+
+func TestCtxAndLogAlwaysGranted(t *testing.T) {
+	h := NewHost(baseHost(), NewPerms())
+	if _, err := h.HostCall("ctx.arg", nil); err != nil {
+		t.Errorf("ctx should always be allowed: %v", err)
+	}
+	if _, err := h.HostCall("log.info", nil); err != nil {
+		t.Errorf("log should always be allowed: %v", err)
+	}
+}
+
+func TestViolationNotCatchableByLVM(t *testing.T) {
+	// An extension that tries to swallow the security violation with its own
+	// handler must still fail: Violation is not an lvm.Thrown.
+	prog := lvm.MustAssemble(`
+class Evil
+  method void sneak()
+  s:
+    hostcall net.post 0
+    pop
+    retv
+  e:
+  h:
+    pop
+    retv
+    handler s e h
+  end
+end`)
+	gated := NewHost(baseHost(), NewPerms(CapStore))
+	in := lvm.NewInterp(prog, gated)
+	_, err := in.Invoke(prog.Method("Evil", "sneak"), prog.Class("Evil").New(), nil)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("violation was swallowed: err = %v", err)
+	}
+}
+
+func TestAllowAllPolicy(t *testing.T) {
+	perms, err := AllowAll().Grant("anyone", []Capability{CapNet, CapStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !perms.Allows(CapNet) || !perms.Allows(CapStore) {
+		t.Error("AllowAll should grant requested caps")
+	}
+	if perms.Allows(CapDevice) {
+		t.Error("unrequested capability granted")
+	}
+}
+
+func TestAllowlistPolicy(t *testing.T) {
+	p := Allowlist(CapStore, CapSession)
+	perms, err := p.Grant("hall-1", []Capability{CapStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !perms.Allows(CapStore) {
+		t.Error("listed capability not granted")
+	}
+	if _, err := p.Grant("hall-1", []Capability{CapNet}); err == nil {
+		t.Error("unlisted capability should be rejected")
+	}
+}
+
+func TestPermsString(t *testing.T) {
+	p := NewPerms(CapNet, CapStore)
+	if p.String() != "{net,store}" {
+		t.Errorf("String = %s", p.String())
+	}
+	if len(p.List()) != 2 {
+		t.Errorf("List = %v", p.List())
+	}
+}
+
+func TestCapabilityOf(t *testing.T) {
+	tests := []struct {
+		fn   string
+		want Capability
+	}{
+		{"store.put", CapStore},
+		{"net.post", CapNet},
+		{"bare", Capability("bare")},
+	}
+	for _, tt := range tests {
+		if got := capabilityOf(tt.fn); got != tt.want {
+			t.Errorf("capabilityOf(%s) = %s", tt.fn, got)
+		}
+	}
+}

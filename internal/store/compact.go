@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Compact rewrites the journal to contain only the live state, atomically
+// replacing the old file. For the record Store this drops records older than
+// keepSince (AtMillis; 0 keeps everything, making Compact a defragmenting
+// rewrite); for long-running base stations this is how the movement history
+// is pruned after it has been archived or replayed.
+func (s *Store) Compact(keepSince int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+
+	var kept []Record
+	for _, r := range s.recs {
+		if keepSince == 0 || r.AtMillis >= keepSince {
+			kept = append(kept, r)
+		}
+	}
+
+	if s.f != nil {
+		path := s.f.Name()
+		tmp := path + ".compact"
+		f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		w := bufio.NewWriter(f)
+		for _, r := range kept {
+			line, err := json.Marshal(r)
+			if err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("store: compact marshal: %w", err)
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("store: compact write: %w", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("store: compact rename: %w", err)
+		}
+		// Reopen the journal for appending.
+		s.f.Close()
+		nf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: compact reopen: %w", err)
+		}
+		s.f = nf
+		s.w = bufio.NewWriter(nf)
+	}
+
+	// Rebuild in-memory state.
+	s.recs = kept
+	s.byRobot = make(map[string][]int, len(s.byRobot))
+	for i, r := range s.recs {
+		s.byRobot[r.Robot] = append(s.byRobot[r.Robot], i)
+	}
+	return nil
+}
+
+// CompactKV rewrites a KV journal to one entry per live key, atomically
+// replacing the old file. Versions are preserved so optimistic transactions
+// keep validating correctly across compaction.
+func (kv *KV) Compact() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	if kv.f == nil {
+		return nil // in-memory KV has nothing to compact
+	}
+	path := kv.f.Name()
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: kv compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for key, val := range kv.data {
+		e := kvEntry{Key: key, Value: val, Version: kv.versions[key]}
+		line, err := json.Marshal(e)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: kv compact marshal: %w", err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: kv compact write: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: kv compact rename: %w", err)
+	}
+	kv.f.Close()
+	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: kv compact reopen: %w", err)
+	}
+	kv.f = nf
+	kv.w = bufio.NewWriter(nf)
+	return nil
+}

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// KV is a small versioned key-value store. The orthogonal-persistence
+// extension snapshots intercepted field writes into it, and the transaction
+// manager uses its versions for first-committer-wins validation.
+type KV struct {
+	mu       sync.RWMutex
+	data     map[string][]byte
+	versions map[string]int64
+
+	f      *os.File
+	w      *bufio.Writer
+	closed bool
+}
+
+type kvEntry struct {
+	Key     string `json:"k"`
+	Value   []byte `json:"v"` // nil means delete
+	Version int64  `json:"n"`
+}
+
+// NewKV returns a volatile in-memory KV.
+func NewKV() *KV {
+	return &KV{data: make(map[string][]byte), versions: make(map[string]int64)}
+}
+
+// OpenKV returns a KV journalled to path, replaying existing entries.
+func OpenKV(path string) (*KV, error) {
+	kv := NewKV()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open kv %s: %w", path, err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e kvEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // tolerate a torn tail
+		}
+		kv.applyLocked(e)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: scan kv %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek kv %s: %w", path, err)
+	}
+	kv.f = f
+	kv.w = bufio.NewWriter(f)
+	return kv, nil
+}
+
+func (kv *KV) applyLocked(e kvEntry) {
+	if e.Value == nil {
+		delete(kv.data, e.Key)
+	} else {
+		kv.data[e.Key] = e.Value
+	}
+	kv.versions[e.Key] = e.Version
+}
+
+// Put stores value under key, bumping its version.
+func (kv *KV) Put(key string, value []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	// Copy via make so an empty (but present) value stays non-nil — nil marks
+	// deletion in the journal.
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	e := kvEntry{Key: key, Value: cp, Version: kv.versions[key] + 1}
+	if err := kv.journalLocked(e); err != nil {
+		return err
+	}
+	kv.applyLocked(e)
+	return nil
+}
+
+// Delete removes key.
+func (kv *KV) Delete(key string) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	e := kvEntry{Key: key, Version: kv.versions[key] + 1}
+	if err := kv.journalLocked(e); err != nil {
+		return err
+	}
+	kv.applyLocked(e)
+	return nil
+}
+
+// Get returns the value and whether the key exists. The returned slice is a
+// copy.
+func (kv *KV) Get(key string) ([]byte, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Version returns the key's current version (0 when never written).
+func (kv *KV) Version(key string) int64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.versions[key]
+}
+
+// Len returns the number of live keys.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.data)
+}
+
+// Keys returns the live keys, unordered.
+func (kv *KV) Keys() []string {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	out := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Close flushes and closes the journal.
+func (kv *KV) Close() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return nil
+	}
+	kv.closed = true
+	if kv.w != nil {
+		if err := kv.w.Flush(); err != nil {
+			kv.f.Close()
+			return err
+		}
+		return kv.f.Close()
+	}
+	return nil
+}
+
+func (kv *KV) journalLocked(e kvEntry) error {
+	if kv.w == nil {
+		return nil
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: marshal kv: %w", err)
+	}
+	if _, err := kv.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: write kv: %w", err)
+	}
+	return kv.w.Flush()
+}

@@ -1,0 +1,202 @@
+// Package store is the base-station database of the paper's prototype: the
+// hardware-monitoring extension posts every motor action to the base, which
+// persists it here; client tools then query, replay, replicate or analyse the
+// movement history (Fig. 3b and Fig. 6). The implementation is an append-only
+// record log with an in-memory index, optionally journalled to disk.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Record is one logged action, e.g. a motor command.
+type Record struct {
+	Seq      int64  `json:"seq"` // assigned by the store on append
+	Robot    string `json:"robot"`
+	Device   string `json:"device"` // e.g. "motor:x"
+	Action   string `json:"action"` // e.g. "rotate"
+	Value    int64  `json:"value"`
+	AtMillis int64  `json:"atMillis"`  // wall-clock time of the command
+	DurMilli int64  `json:"durMillis"` // command duration
+}
+
+// Filter selects records. Zero fields match everything; Since/Until bound
+// AtMillis inclusively/exclusively.
+type Filter struct {
+	Robot  string
+	Device string
+	Action string
+	Since  int64 // inclusive; 0 = unbounded
+	Until  int64 // exclusive; 0 = unbounded
+}
+
+func (f Filter) matches(r Record) bool {
+	if f.Robot != "" && r.Robot != f.Robot {
+		return false
+	}
+	if f.Device != "" && r.Device != f.Device {
+		return false
+	}
+	if f.Action != "" && r.Action != f.Action {
+		return false
+	}
+	if f.Since != 0 && r.AtMillis < f.Since {
+		return false
+	}
+	if f.Until != 0 && r.AtMillis >= f.Until {
+		return false
+	}
+	return true
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Store is an append-only record log. The zero value is not usable; use
+// NewMemory or Open.
+type Store struct {
+	mu      sync.RWMutex
+	recs    []Record
+	nextSeq int64
+	byRobot map[string][]int // indexes into recs
+
+	f      *os.File
+	w      *bufio.Writer
+	closed bool
+}
+
+// NewMemory returns a volatile in-memory store.
+func NewMemory() *Store {
+	return &Store{nextSeq: 1, byRobot: make(map[string][]int)}
+}
+
+// Open returns a store journalled to path, loading any existing records.
+func Open(path string) (*Store, error) {
+	s := NewMemory()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			// A torn final line (crash mid-write) is tolerated; anything
+			// mid-file is corruption.
+			break
+		}
+		s.appendLocked(r, false)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: scan %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek %s: %w", path, err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// Append assigns a sequence number, persists (when journalled) and indexes r.
+func (s *Store) Append(r Record) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return s.appendLocked(r, true)
+}
+
+func (s *Store) appendLocked(r Record, persist bool) (int64, error) {
+	if r.Seq == 0 {
+		r.Seq = s.nextSeq
+	}
+	if r.Seq >= s.nextSeq {
+		s.nextSeq = r.Seq + 1
+	}
+	if persist && s.w != nil {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return 0, fmt.Errorf("store: marshal: %w", err)
+		}
+		if _, err := s.w.Write(append(line, '\n')); err != nil {
+			return 0, fmt.Errorf("store: write: %w", err)
+		}
+		if err := s.w.Flush(); err != nil {
+			return 0, fmt.Errorf("store: flush: %w", err)
+		}
+	}
+	s.byRobot[r.Robot] = append(s.byRobot[r.Robot], len(s.recs))
+	s.recs = append(s.recs, r)
+	return r.Seq, nil
+}
+
+// Query returns all records matching f in append order.
+func (s *Store) Query(f Filter) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	if f.Robot != "" {
+		for _, i := range s.byRobot[f.Robot] {
+			if f.matches(s.recs[i]) {
+				out = append(out, s.recs[i])
+			}
+		}
+		return out
+	}
+	for _, r := range s.recs {
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Robots returns the distinct robot identities seen, unordered.
+func (s *Store) Robots() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byRobot))
+	for r := range s.byRobot {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// Close flushes and closes the journal (no-op for in-memory stores).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			s.f.Close()
+			return err
+		}
+		return s.f.Close()
+	}
+	return nil
+}

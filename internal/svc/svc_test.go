@@ -1,0 +1,103 @@
+package svc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/aop"
+	"repro/internal/lvm"
+	"repro/internal/transport"
+	"repro/internal/weave"
+)
+
+func newEchoRegistry(w *weave.Weaver) *Registry {
+	r := NewRegistry(w)
+	r.Register("Robot", "moveArm", []string{"int"}, "int", func(args []lvm.Value) (lvm.Value, error) {
+		return lvm.Int(args[0].I * 2), nil
+	})
+	return r
+}
+
+func TestLocalInvoke(t *testing.T) {
+	r := newEchoRegistry(weave.New())
+	v, err := r.Invoke("Robot", "moveArm", "alice", []lvm.Value{lvm.Int(21)})
+	if err != nil || v.I != 42 {
+		t.Fatalf("Invoke = %v, %v", v, err)
+	}
+	if _, err := r.Invoke("Robot", "fly", "alice", nil); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+	if _, err := r.Invoke("Nope", "moveArm", "alice", nil); err == nil {
+		t.Fatal("unknown service should fail")
+	}
+}
+
+func TestCallerMetadataReachesAdvice(t *testing.T) {
+	w := weave.New()
+	r := newEchoRegistry(w)
+	var seen []string
+	a := &aop.Aspect{Name: "session", Advices: []aop.Advice{
+		aop.BeforeCall("Robot.*(..)", aop.BodyFunc(func(ctx *aop.Context) error {
+			if v, ok := ctx.Get(MetaCaller); ok {
+				seen = append(seen, v.S)
+			}
+			return nil
+		})),
+	}}
+	if err := w.Insert(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke("Robot", "moveArm", "alice", []lvm.Value{lvm.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != "alice" {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestRemoteInvokeThroughFabric(t *testing.T) {
+	w := weave.New()
+	r := newEchoRegistry(w)
+	mux := transport.NewMux()
+	r.ServeOn(mux)
+	fabric := transport.NewInProc()
+	stop, err := fabric.Serve("robot1", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	v, err := Call(fabric.Node("client"), "robot1", "Robot", "moveArm", "bob", lvm.Int(5))
+	if err != nil || v.I != 10 {
+		t.Fatalf("Call = %v, %v", v, err)
+	}
+}
+
+func TestVetoPropagatesToRemoteCaller(t *testing.T) {
+	w := weave.New()
+	r := newEchoRegistry(w)
+	deny := &aop.Aspect{Name: "deny", Advices: []aop.Advice{
+		aop.BeforeCall("Robot.*(..)", aop.BodyFunc(func(ctx *aop.Context) error {
+			if v, _ := ctx.Get(MetaCaller); v.S == "mallory" {
+				ctx.Abort("access denied")
+			}
+			return nil
+		})),
+	}}
+	if err := w.Insert(deny); err != nil {
+		t.Fatal(err)
+	}
+	mux := transport.NewMux()
+	r.ServeOn(mux)
+	fabric := transport.NewInProc()
+	stop, _ := fabric.Serve("robot1", mux)
+	defer stop()
+
+	if _, err := Call(fabric.Node("c"), "robot1", "Robot", "moveArm", "alice", lvm.Int(1)); err != nil {
+		t.Fatalf("alice should pass: %v", err)
+	}
+	_, err := Call(fabric.Node("c"), "robot1", "Robot", "moveArm", "mallory", lvm.Int(1))
+	if err == nil || !strings.Contains(err.Error(), "access denied") {
+		t.Fatalf("mallory should be denied, got %v", err)
+	}
+}

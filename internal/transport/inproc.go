@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// InProc is an in-process RPC fabric. It simulates the wireless network of
+// the paper's testbed: a LinkFunc (typically wired to the mobility
+// simulator's range oracle) decides which node pairs can currently talk, and
+// an optional per-call latency models the air interface.
+type InProc struct {
+	mu       sync.RWMutex
+	nodes    map[string]Handler
+	linked   func(from, to string) bool
+	latency  time.Duration
+	lossNum  uint64 // drop lossNum out of every lossDen calls
+	lossDen  uint64
+	lossTick uint64
+}
+
+// NewInProc returns a fully connected fabric with zero latency.
+func NewInProc() *InProc {
+	return &InProc{nodes: make(map[string]Handler)}
+}
+
+// SetLinkFunc installs the connectivity oracle. A nil oracle means fully
+// connected. Local delivery (from == to) is always allowed.
+func (n *InProc) SetLinkFunc(f func(from, to string) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linked = f
+}
+
+// SetLatency sets the simulated one-way message latency.
+func (n *InProc) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// SetLoss drops num out of every den calls deterministically (evenly
+// spread), modelling a lossy wireless link. SetLoss(0, 0) disables loss.
+func (n *InProc) SetLoss(num, den uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossNum, n.lossDen, n.lossTick = num, den, 0
+}
+
+// dropCall reports whether the current call falls into a loss slot.
+func (n *InProc) dropCall() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.lossDen == 0 || n.lossNum == 0 {
+		return false
+	}
+	tick := n.lossTick
+	n.lossTick++
+	// Evenly spread: drop when the scaled counter crosses a unit boundary.
+	return (tick*n.lossNum)/n.lossDen != ((tick+1)*n.lossNum)/n.lossDen
+}
+
+// Serve attaches h at addr. The returned stop function detaches it.
+func (n *InProc) Serve(addr string, h Handler) (func(), error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[addr]; dup {
+		return nil, fmt.Errorf("transport: inproc address %q in use", addr)
+	}
+	n.nodes[addr] = h
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(n.nodes, addr)
+	}, nil
+}
+
+// Node returns a Caller whose calls originate from addr, so the connectivity
+// oracle sees the correct link endpoints.
+func (n *InProc) Node(addr string) Caller {
+	return &inprocCaller{net: n, from: addr}
+}
+
+type inprocCaller struct {
+	net  *InProc
+	from string
+}
+
+// Call implements Caller.
+func (c *inprocCaller) Call(ctx context.Context, to, method string, req, resp any) error {
+	c.net.mu.RLock()
+	h, ok := c.net.nodes[to]
+	linked := c.net.linked
+	latency := c.net.latency
+	c.net.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	if linked != nil && c.from != to && !linked(c.from, to) {
+		return fmt.Errorf("%w: %s -> %s (out of range)", ErrUnreachable, c.from, to)
+	}
+	if c.net.dropCall() {
+		return fmt.Errorf("%w: %s -> %s (message lost)", ErrUnreachable, c.from, to)
+	}
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	body, err := Encode(req)
+	if err != nil {
+		return err
+	}
+	out, err := h.Handle(ctx, method, body)
+	if err != nil {
+		return &RemoteError{Method: method, Msg: err.Error()}
+	}
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if resp == nil {
+		return nil
+	}
+	return Decode(out, resp)
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// wire envelope types.
+type tcpRequest struct {
+	Method string
+	Body   []byte
+}
+
+type tcpResponse struct {
+	Body []byte
+	Err  string
+}
+
+// TCPServer serves a Handler over real TCP connections, one request per
+// connection.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts a server on addr ("127.0.0.1:0" picks a free port).
+func ServeTCP(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes open connections and waits for handlers.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req tcpRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		body, err := s.handler.Handle(context.Background(), req.Method, req.Body)
+		resp := tcpResponse{Body: body}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// TCPCaller issues calls over TCP, keeping one pooled connection per
+// destination.
+type TCPCaller struct {
+	DialTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]*tcpClientConn
+}
+
+type tcpClientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewTCPCaller returns a caller with a 2s dial timeout.
+func NewTCPCaller() *TCPCaller {
+	return &TCPCaller{DialTimeout: 2 * time.Second, conns: make(map[string]*tcpClientConn)}
+}
+
+// Call implements Caller. to is a host:port address.
+func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) error {
+	body, err := Encode(req)
+	if err != nil {
+		return err
+	}
+	cc, err := c.conn(to)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = cc.conn.SetDeadline(deadline)
+	} else {
+		_ = cc.conn.SetDeadline(time.Time{})
+	}
+	callErr := func() error {
+		if err := cc.enc.Encode(&tcpRequest{Method: method, Body: body}); err != nil {
+			return err
+		}
+		var out tcpResponse
+		if err := cc.dec.Decode(&out); err != nil {
+			return err
+		}
+		if out.Err != "" {
+			return &RemoteError{Method: method, Msg: out.Err}
+		}
+		if resp == nil {
+			return nil
+		}
+		return Decode(out.Body, resp)
+	}()
+	if callErr != nil {
+		if _, isRemote := callErr.(*RemoteError); !isRemote {
+			// Connection-level failure: drop the pooled connection.
+			c.drop(to, cc)
+		}
+	}
+	return callErr
+}
+
+// Close closes all pooled connections.
+func (c *TCPCaller) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cc := range c.conns {
+		cc.conn.Close()
+	}
+	c.conns = make(map[string]*tcpClientConn)
+}
+
+func (c *TCPCaller) conn(to string) (*tcpClientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc, ok := c.conns[to]; ok {
+		return cc, nil
+	}
+	conn, err := net.DialTimeout("tcp", to, c.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &tcpClientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c.conns[to] = cc
+	return cc, nil
+}
+
+func (c *TCPCaller) drop(to string, cc *tcpClientConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.conns[to]; ok && cur == cc {
+		cc.conn.Close()
+		delete(c.conns, to)
+	}
+}

@@ -1,0 +1,126 @@
+// Package transport provides the RPC layer the platform's distributed pieces
+// (lookup service, extension bases, adaptation services) communicate over.
+// Payloads are gob-encoded; two interchangeable fabrics are provided: an
+// in-process fabric whose connectivity is steered by the mobility simulator
+// (standing in for the wireless network of the paper's testbed) and a real
+// TCP fabric.
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Handler serves RPC requests addressed to one node.
+type Handler interface {
+	Handle(ctx context.Context, method string, body []byte) ([]byte, error)
+}
+
+// Caller issues RPC requests to remote nodes.
+type Caller interface {
+	Call(ctx context.Context, to, method string, req, resp any) error
+}
+
+// Errors surfaced by the transports.
+var (
+	// ErrUnreachable indicates no route to the destination (node out of
+	// range, partitioned or gone).
+	ErrUnreachable = errors.New("transport: destination unreachable")
+	// ErrNoMethod indicates the destination does not serve the method.
+	ErrNoMethod = errors.New("transport: no such method")
+)
+
+// RemoteError wraps an error string returned by the remote handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// Encode gob-encodes v.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes data into v (a pointer).
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+// Mux dispatches methods to registered handler functions. It is safe for
+// concurrent use; handlers may be added while serving.
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[string]func(ctx context.Context, body []byte) ([]byte, error)
+}
+
+// NewMux returns an empty Mux.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]func(ctx context.Context, body []byte) ([]byte, error))}
+}
+
+// HandleRaw registers a raw body handler for method.
+func (m *Mux) HandleRaw(method string, fn func(ctx context.Context, body []byte) ([]byte, error)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[method] = fn
+}
+
+// Handle implements Handler.
+func (m *Mux) Handle(ctx context.Context, method string, body []byte) ([]byte, error) {
+	m.mu.RLock()
+	fn, ok := m.handlers[method]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoMethod, method)
+	}
+	return fn(ctx, body)
+}
+
+// Methods returns the registered method names (order unspecified).
+func (m *Mux) Methods() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.handlers))
+	for k := range m.handlers {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Register installs a typed handler for method on mux.
+func Register[Req, Resp any](mux *Mux, method string, fn func(ctx context.Context, req Req) (Resp, error)) {
+	mux.HandleRaw(method, func(ctx context.Context, body []byte) ([]byte, error) {
+		var req Req
+		if err := Decode(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := fn(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(resp)
+	})
+}
+
+// Invoke performs a typed call through c.
+func Invoke[Req, Resp any](ctx context.Context, c Caller, to, method string, req Req) (Resp, error) {
+	var resp Resp
+	err := c.Call(ctx, to, method, req, &resp)
+	return resp, err
+}

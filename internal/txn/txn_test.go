@@ -1,0 +1,146 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestCommitAppliesWrites(t *testing.T) {
+	kv := store.NewKV()
+	m := NewManager(kv)
+	tx := m.Begin()
+	if err := tx.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// Writes invisible before commit.
+	if _, ok := kv.Get("a"); ok {
+		t.Error("uncommitted write visible")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := kv.Get("a")
+	if !ok || string(v) != "1" {
+		t.Errorf("a = %q, %v", v, ok)
+	}
+	commits, conflicts := m.Stats()
+	if commits != 1 || conflicts != 0 {
+		t.Errorf("stats = %d, %d", commits, conflicts)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	kv := store.NewKV()
+	m := NewManager(kv)
+	tx := m.Begin()
+	if err := tx.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tx.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if err := tx.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tx.Get("k"); ok {
+		t.Error("deleted key visible in txn")
+	}
+	tx.Abort()
+}
+
+func TestAbortDiscards(t *testing.T) {
+	kv := store.NewKV()
+	m := NewManager(kv)
+	tx := m.Begin()
+	if err := tx.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if _, ok := kv.Get("a"); ok {
+		t.Error("aborted write applied")
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrFinished) {
+		t.Errorf("commit after abort: %v", err)
+	}
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	kv := store.NewKV()
+	if err := kv.Put("balance", []byte("100")); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(kv)
+
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if _, _, err := t1.Get("balance"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := t2.Get("balance"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Put("balance", []byte("90")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Put("balance", []byte("80")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("first committer: %v", err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second committer: want conflict, got %v", err)
+	}
+	v, _ := kv.Get("balance")
+	if string(v) != "90" {
+		t.Errorf("balance = %q", v)
+	}
+	_, conflicts := m.Stats()
+	if conflicts != 1 {
+		t.Errorf("conflicts = %d", conflicts)
+	}
+}
+
+func TestBlindWritesDoNotConflict(t *testing.T) {
+	kv := store.NewKV()
+	m := NewManager(kv)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if err := t1.Put("x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Put("y", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("disjoint blind writes should both commit: %v", err)
+	}
+}
+
+func TestOpsAfterFinish(t *testing.T) {
+	kv := store.NewKV()
+	m := NewManager(kv)
+	tx := m.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("a", nil); !errors.Is(err, ErrFinished) {
+		t.Error("Put after commit should fail")
+	}
+	if _, _, err := tx.Get("a"); !errors.Is(err, ErrFinished) {
+		t.Error("Get after commit should fail")
+	}
+	if err := tx.Delete("a"); !errors.Is(err, ErrFinished) {
+		t.Error("Delete after commit should fail")
+	}
+}

@@ -1,0 +1,80 @@
+package weave
+
+import (
+	"sync"
+
+	"repro/internal/aop"
+	"repro/internal/lvm"
+)
+
+// ctxPool recycles advice contexts so the woven fast path stays allocation
+// free for inactive sites and cheap for active ones.
+var ctxPool = sync.Pool{New: func() any { return new(aop.Context) }}
+
+// GetContext fetches a cleared Context from the pool.
+func GetContext() *aop.Context { return ctxPool.Get().(*aop.Context) }
+
+// PutContext returns a Context to the pool.
+func PutContext(c *aop.Context) {
+	c.Reset()
+	ctxPool.Put(c)
+}
+
+// MethodHooks is the pair of stub sites for a natively implemented (Go)
+// method. Remote services expose their operations through MethodHooks so
+// that MIDAS extensions can adapt them exactly like LVM code — this is the
+// adaptation point of Fig. 2, where the interceptions around a remote method
+// call m_R live.
+type MethodHooks struct {
+	Sig   aop.Signature
+	Entry *Site
+	Exit  *Site
+}
+
+// HookMethod registers entry and exit sites for a native method signature.
+func (w *Weaver) HookMethod(sig aop.Signature) *MethodHooks {
+	return &MethodHooks{
+		Sig:   sig,
+		Entry: w.RegisterMethodSite(aop.MethodEntry, sig),
+		Exit:  w.RegisterMethodSite(aop.MethodExit, sig),
+	}
+}
+
+// Invoke runs fn through the woven advice chains. When no advice is attached
+// the only cost over a direct call is two atomic loads. Entry advice may veto
+// the call (ctx.Abort) or rewrite arguments; exit advice may observe or
+// rewrite the result.
+func (h *MethodHooks) Invoke(self *lvm.Object, args []lvm.Value, fn func(args []lvm.Value) (lvm.Value, error)) (lvm.Value, error) {
+	return h.InvokeWithMeta(self, args, nil, fn)
+}
+
+// InvokeWithMeta is Invoke with initial cross-extension metadata (e.g. the
+// transport layer provides the remote caller's identity, which the session
+// extension then exposes to the access-control extension).
+func (h *MethodHooks) InvokeWithMeta(self *lvm.Object, args []lvm.Value, meta map[string]lvm.Value, fn func(args []lvm.Value) (lvm.Value, error)) (lvm.Value, error) {
+	if !h.Entry.Active() && !h.Exit.Active() {
+		return fn(args)
+	}
+	ctx := GetContext()
+	defer PutContext(ctx)
+	ctx.Kind = aop.MethodEntry
+	ctx.Sig = h.Sig
+	ctx.Self = self
+	ctx.Args = args
+	for k, v := range meta {
+		ctx.Put(k, v)
+	}
+	if err := h.Entry.Dispatch(ctx); err != nil {
+		return lvm.Nil(), err
+	}
+	res, err := fn(ctx.Args)
+	if err != nil {
+		return lvm.Nil(), err
+	}
+	ctx.Kind = aop.MethodExit
+	ctx.Result = res
+	if err := h.Exit.Dispatch(ctx); err != nil {
+		return lvm.Nil(), err
+	}
+	return ctx.Result, nil
+}

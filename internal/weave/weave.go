@@ -1,0 +1,301 @@
+// Package weave is the run-time weaver at the heart of the PROSE layer. It
+// keeps the registry of join-point sites planted by the JIT (or by explicit
+// hooks in native Go services), and maps dynamically inserted/withdrawn
+// aspects onto per-site advice chains.
+//
+// The performance-critical property reproduced from the paper is the
+// "minimal hook" design: every potential join point carries a stub whose
+// inactive cost is a single atomic pointer load, so that methods not affected
+// by interceptions are not slowed down.
+package weave
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aop"
+)
+
+// Site is one static join point in a woven application. The JIT plants a
+// stub referencing the Site; Dispatch is the stub's slow path.
+type Site struct {
+	Kind  aop.Kind
+	Sig   aop.Signature
+	Field string
+
+	chain atomic.Pointer[chain]
+}
+
+type chain struct {
+	entries []chainEntry
+}
+
+type chainEntry struct {
+	aspect *aop.Aspect
+	advice *aop.Advice
+	order  [3]int // priority, insertion sequence, advice index
+}
+
+// Active reports whether any advice is currently woven at this site. This is
+// the minimal-hook fast path: callers should skip building a Context when it
+// returns false.
+func (s *Site) Active() bool { return s.chain.Load() != nil }
+
+// AdviceCount returns the number of advice bodies currently attached.
+func (s *Site) AdviceCount() int {
+	c := s.chain.Load()
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+// Dispatch runs the woven advice chain with ctx. The first advice error (or
+// veto via ctx.Abort) stops the chain and is returned.
+func (s *Site) Dispatch(ctx *aop.Context) error {
+	c := s.chain.Load()
+	if c == nil {
+		return nil
+	}
+	for i := range c.entries {
+		if err := c.entries[i].advice.Body.Exec(ctx); err != nil {
+			return err
+		}
+		if err := ctx.Aborted(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Weaver owns the sites of one node and the set of active aspects.
+type Weaver struct {
+	mu      sync.Mutex
+	sites   []*Site
+	aspects map[string]*insertedAspect
+	seq     int
+}
+
+type insertedAspect struct {
+	aspect *aop.Aspect
+	seq    int
+}
+
+// New returns an empty weaver.
+func New() *Weaver {
+	return &Weaver{aspects: make(map[string]*insertedAspect)}
+}
+
+// RegisterMethodSite creates (and wires) the join-point site for a method
+// boundary. kind must be MethodEntry, MethodExit, ExceptionThrow or
+// ExceptionHandler.
+func (w *Weaver) RegisterMethodSite(kind aop.Kind, sig aop.Signature) *Site {
+	s := &Site{Kind: kind, Sig: sig}
+	w.addSite(s)
+	return s
+}
+
+// RegisterFieldSite creates the join-point site for a field access. kind must
+// be FieldGet or FieldSet.
+func (w *Weaver) RegisterFieldSite(kind aop.Kind, class, field string) *Site {
+	s := &Site{Kind: kind, Sig: aop.Signature{Class: class}, Field: field}
+	w.addSite(s)
+	return s
+}
+
+func (w *Weaver) addSite(s *Site) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sites = append(w.sites, s)
+	w.recomputeLocked(s)
+}
+
+// Insert activates an aspect: its advice is woven into every currently
+// registered matching site, and will be woven into sites registered later.
+// Aspect names must be unique; inserting a second aspect with the same name
+// fails (use Replace for policy evolution).
+func (w *Weaver) Insert(a *aop.Aspect) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	if _, dup := w.aspects[a.Name]; dup {
+		w.mu.Unlock()
+		return fmt.Errorf("weave: aspect %q already inserted", a.Name)
+	}
+	w.mu.Unlock()
+
+	if a.OnActivate != nil {
+		if err := a.OnActivate(); err != nil {
+			return fmt.Errorf("weave: activate %q: %w", a.Name, err)
+		}
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.aspects[a.Name]; dup {
+		return fmt.Errorf("weave: aspect %q already inserted", a.Name)
+	}
+	w.seq++
+	w.aspects[a.Name] = &insertedAspect{aspect: a, seq: w.seq}
+	w.recomputeAllLocked()
+	return nil
+}
+
+// Withdraw removes the named aspect, running its shutdown procedure first so
+// it can reach a consistent state (per §3.2).
+func (w *Weaver) Withdraw(name string) error {
+	w.mu.Lock()
+	ins, ok := w.aspects[name]
+	if !ok {
+		w.mu.Unlock()
+		return fmt.Errorf("weave: aspect %q not inserted", name)
+	}
+	delete(w.aspects, name)
+	w.recomputeAllLocked()
+	w.mu.Unlock()
+
+	if ins.aspect.OnShutdown != nil {
+		ins.aspect.OnShutdown()
+	}
+	return nil
+}
+
+// Replace atomically swaps an old aspect for a new one, supporting the
+// paper's "allow the replacement of obsolete extensions with new ones in case
+// the local policy evolves". The old aspect's shutdown runs after the swap.
+func (w *Weaver) Replace(oldName string, a *aop.Aspect) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if a.OnActivate != nil {
+		if err := a.OnActivate(); err != nil {
+			return fmt.Errorf("weave: activate %q: %w", a.Name, err)
+		}
+	}
+	w.mu.Lock()
+	old, ok := w.aspects[oldName]
+	if !ok {
+		w.mu.Unlock()
+		return fmt.Errorf("weave: aspect %q not inserted", oldName)
+	}
+	if oldName != a.Name {
+		if _, dup := w.aspects[a.Name]; dup {
+			w.mu.Unlock()
+			return fmt.Errorf("weave: aspect %q already inserted", a.Name)
+		}
+	}
+	delete(w.aspects, oldName)
+	w.seq++
+	w.aspects[a.Name] = &insertedAspect{aspect: a, seq: w.seq}
+	w.recomputeAllLocked()
+	w.mu.Unlock()
+
+	if old.aspect.OnShutdown != nil {
+		old.aspect.OnShutdown()
+	}
+	return nil
+}
+
+// Has reports whether the named aspect is active.
+func (w *Weaver) Has(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.aspects[name]
+	return ok
+}
+
+// Aspects returns the names of active aspects in insertion order.
+func (w *Weaver) Aspects() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	type named struct {
+		name string
+		seq  int
+	}
+	out := make([]named, 0, len(w.aspects))
+	for n, ins := range w.aspects {
+		out = append(out, named{n, ins.seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	names := make([]string, len(out))
+	for i, n := range out {
+		names[i] = n.name
+	}
+	return names
+}
+
+// SiteCount returns the number of registered join-point sites.
+func (w *Weaver) SiteCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sites)
+}
+
+// ActiveSiteCount returns the number of sites with at least one advice woven.
+func (w *Weaver) ActiveSiteCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, s := range w.sites {
+		if s.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// recomputeAllLocked rebuilds every site's chain; called on aspect changes.
+func (w *Weaver) recomputeAllLocked() {
+	for _, s := range w.sites {
+		w.recomputeLocked(s)
+	}
+}
+
+// recomputeLocked rebuilds one site's chain against the active aspect set.
+func (w *Weaver) recomputeLocked(s *Site) {
+	var entries []chainEntry
+	for _, ins := range w.aspects {
+		a := ins.aspect
+		for i := range a.Advices {
+			adv := &a.Advices[i]
+			if adv.Cut.Kind != s.Kind {
+				continue
+			}
+			if !matches(adv, s) {
+				continue
+			}
+			entries = append(entries, chainEntry{
+				aspect: a,
+				advice: adv,
+				order:  [3]int{a.Priority, ins.seq, i},
+			})
+		}
+	}
+	if len(entries) == 0 {
+		s.chain.Store(nil)
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].order, entries[j].order
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	s.chain.Store(&chain{entries: entries})
+}
+
+func matches(adv *aop.Advice, s *Site) bool {
+	switch s.Kind {
+	case aop.FieldGet, aop.FieldSet:
+		return adv.Cut.Pat.MatchField(s.Sig.Class, s.Field)
+	default:
+		return adv.Cut.Pat.MatchMethod(s.Sig)
+	}
+}

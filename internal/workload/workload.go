@@ -1,0 +1,216 @@
+// Package workload provides the SPECjvm-style synthetic benchmark programs
+// used to measure the platform overhead of §4.6: deterministic LVM programs
+// exercising arithmetic, string handling, method calls and field traffic.
+// The overhead experiments run each workload on an un-instrumented machine
+// and on one with hook stubs planted at every join point.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/lvm"
+)
+
+// Spec names one synthetic workload and its entry point.
+type Spec struct {
+	Name   string
+	Class  string
+	Method string
+	Arg    int64 // iteration count handed to the entry method
+}
+
+// All returns the benchmark suite. Arg values are sized so a single run
+// takes roughly comparable work across workloads.
+func All() []Spec {
+	return []Spec{
+		{Name: "arith", Class: "Arith", Method: "run", Arg: 400},
+		{Name: "calls", Class: "Calls", Method: "run", Arg: 150},
+		{Name: "fields", Class: "Fields", Method: "run", Arg: 200},
+		{Name: "strings", Class: "Strings", Method: "run", Arg: 60},
+	}
+}
+
+// Program assembles the workload suite. Each call returns a fresh Program so
+// instrumented and un-instrumented machines never share compiled state.
+func Program() *lvm.Program {
+	return lvm.MustAssemble(src)
+}
+
+// Expected returns the value the named workload must compute for the given
+// argument; used to verify that instrumentation does not change semantics.
+func Expected(name string, n int64) (int64, error) {
+	switch name {
+	case "arith":
+		var acc int64
+		for i := int64(1); i <= n; i++ {
+			acc += i*i - 3*i + (acc % 7)
+		}
+		return acc, nil
+	case "calls":
+		var acc int64
+		for i := int64(1); i <= n; i++ {
+			acc += i*2 + 1
+		}
+		return acc, nil
+	case "fields":
+		var v int64
+		for i := int64(1); i <= n; i++ {
+			v = v + i
+		}
+		return v, nil
+	case "strings":
+		var l int64
+		s := ""
+		for i := int64(0); i < n; i++ {
+			s += "ab"
+			l += int64(len(s))
+		}
+		return l, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown %q", name)
+	}
+}
+
+const src = `
+; SPECjvm-style synthetic workloads.
+class Arith
+  method int run(int n)
+    local acc
+    local i
+    push 0
+    store acc
+    push 1
+    store i
+  loop:
+    load i
+    load n
+    le
+    jmpf done
+    ; acc += i*i - 3*i + (acc % 7)
+    load acc
+    load i
+    load i
+    mul
+    push 3
+    load i
+    mul
+    sub
+    load acc
+    push 7
+    mod
+    add
+    add
+    store acc
+    load i
+    push 1
+    add
+    store i
+    jmp loop
+  done:
+    load acc
+    ret
+  end
+end
+
+class Calls
+  method int helper(int x)
+    load x
+    push 2
+    mul
+    push 1
+    add
+    ret
+  end
+  method int run(int n)
+    local acc
+    local i
+    push 0
+    store acc
+    push 1
+    store i
+  loop:
+    load i
+    load n
+    le
+    jmpf done
+    load acc
+    load self
+    load i
+    call helper 1
+    add
+    store acc
+    load i
+    push 1
+    add
+    store i
+    jmp loop
+  done:
+    load acc
+    ret
+  end
+end
+
+class Fields
+  field v
+  method int run(int n)
+    local i
+    push 0
+    setself v
+    push 1
+    store i
+  loop:
+    load i
+    load n
+    le
+    jmpf done
+    getself v
+    load i
+    add
+    setself v
+    load i
+    push 1
+    add
+    store i
+    jmp loop
+  done:
+    getself v
+    ret
+  end
+end
+
+class Strings
+  method int run(int n)
+    local s
+    local l
+    local i
+    push ""
+    store s
+    push 0
+    store l
+    push 0
+    store i
+  loop:
+    load i
+    load n
+    lt
+    jmpf done
+    load s
+    push "ab"
+    concat
+    store s
+    load l
+    load s
+    len
+    add
+    store l
+    load i
+    push 1
+    add
+    store i
+    jmp loop
+  done:
+    load l
+    ret
+  end
+end
+`

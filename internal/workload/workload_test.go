@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/jit"
+	"repro/internal/lvm"
+	"repro/internal/weave"
+)
+
+func TestWorkloadsComputeExpectedValues(t *testing.T) {
+	for _, spec := range All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			want, err := Expected(spec.Name, spec.Arg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Interpreter.
+			prog := Program()
+			in := lvm.NewInterp(prog, nil)
+			in.MaxSteps = 100_000_000
+			got, err := in.Invoke(prog.Method(spec.Class, spec.Method), prog.Class(spec.Class).New(), []lvm.Value{lvm.Int(spec.Arg)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.I != want {
+				t.Errorf("interp %s = %d, want %d", spec.Name, got.I, want)
+			}
+			// Un-instrumented JIT.
+			m := jit.NewMachine(Program(), nil, nil)
+			m.MaxSteps = 100_000_000
+			got2, err := m.Call(spec.Class, spec.Method, nil, lvm.Int(spec.Arg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got2.I != want {
+				t.Errorf("jit %s = %d, want %d", spec.Name, got2.I, want)
+			}
+			// Instrumented JIT (hooks planted, no advice): semantics must be
+			// identical — the core of the E1 overhead claim.
+			mw := jit.NewMachine(Program(), weave.New(), nil)
+			mw.MaxSteps = 100_000_000
+			got3, err := mw.Call(spec.Class, spec.Method, nil, lvm.Int(spec.Arg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got3.I != want {
+				t.Errorf("hooked jit %s = %d, want %d", spec.Name, got3.I, want)
+			}
+		})
+	}
+}
+
+func TestExpectedUnknown(t *testing.T) {
+	if _, err := Expected("nope", 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
