@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/ext"
+	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/sign"
 	"repro/internal/store"
@@ -52,6 +55,7 @@ func run() error {
 		storePath = flag.String("store", "", "movement database journal (empty = in-memory)")
 		keyFile   = flag.String("keyfile", "", "write the signing public key (hex) to this file")
 		leaseDur  = flag.Duration("lease", 10*time.Second, "extension lease duration")
+		httpAddr  = flag.String("http", "127.0.0.1:8001", "metrics/health HTTP address (empty disables)")
 		exts      extFlags
 	)
 	flag.Var(&exts, "ext", "extension preset, repeatable: hwmonitor | logger | accesscontrol:allow=a,b")
@@ -103,6 +107,14 @@ func run() error {
 	base.OnDepart(func(node string) { log.Printf("node departed: %s", node) })
 	base.ServeOn(mux)
 
+	reg := metrics.New()
+	lookup.Instrument(reg)
+	caller.Instrument(reg)
+	base.Instrument(reg)
+	transport.Register(mux, core.MethodMetrics, func(_ context.Context, _ core.EmptyResp) (core.MetricsResp, error) {
+		return core.MetricsResp{Snap: reg.Snapshot()}, nil
+	})
+
 	for i, spec := range exts {
 		e, err := presetExtension(*name, i, spec)
 		if err != nil {
@@ -119,7 +131,25 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
+	srv.Instrument(reg)
 	log.Printf("base station %s serving on %s (signer %s)", *name, srv.Addr(), signer.Fingerprint())
+
+	if *httpAddr != "" {
+		health := metrics.NewHealth()
+		health.Register("transport", func() error {
+			conn, err := net.DialTimeout("tcp", srv.Addr(), 500*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			return conn.Close()
+		})
+		maddr, stopHTTP, err := metrics.ServeHTTP(*httpAddr, reg, health)
+		if err != nil {
+			return err
+		}
+		defer stopHTTP()
+		log.Printf("metrics on http://%s/metrics, health on http://%s/healthz", maddr, maddr)
+	}
 
 	if _, err := base.WatchLookup(&registry.Client{Caller: caller, Addr: srv.Addr()}, 24*time.Hour); err != nil {
 		return err

@@ -6,6 +6,7 @@
 //
 //	midasctl -node 127.0.0.1:7101 list
 //	midasctl -node 127.0.0.1:7101 revoke hw-monitoring
+//	midasctl -node 127.0.0.1:7101 metrics
 //	midasctl -lookup 127.0.0.1:7000 services
 //	midasctl -base 127.0.0.1:7000 records [robot]
 package main
@@ -15,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -38,7 +41,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: list | revoke <name> | services | records [robot]")
+		return fmt.Errorf("need a subcommand: list | revoke <name> | metrics | services | records [robot]")
 	}
 
 	caller := transport.NewTCPCaller()
@@ -74,6 +77,19 @@ func run() error {
 			return err
 		}
 		fmt.Printf("revoked %s\n", args[1])
+	case "metrics":
+		target := *nodeAddr
+		if target == "" {
+			target = *baseAddr
+		}
+		if target == "" {
+			return fmt.Errorf("metrics needs -node or -base")
+		}
+		resp, err := transport.Invoke[core.EmptyResp, core.MetricsResp](ctx, caller, target, core.MethodMetrics, core.EmptyResp{})
+		if err != nil {
+			return err
+		}
+		metrics.WriteText(os.Stdout, resp.Snap)
 	case "services":
 		if *lookupAddr == "" {
 			return fmt.Errorf("services needs -lookup")

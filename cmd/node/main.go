@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/ext"
+	"repro/internal/metrics"
 	"repro/internal/plotter"
 	"repro/internal/registry"
 	"repro/internal/sandbox"
@@ -47,6 +49,7 @@ func run() error {
 		lookup   = flag.String("lookup", "127.0.0.1:7000", "lookup service address")
 		trustKey = flag.String("trustkey", "", "file with a trusted signer public key (hex)")
 		kvPath   = flag.String("kv", "", "node KV journal for persistence extensions (empty = in-memory)")
+		httpAddr = flag.String("http", "127.0.0.1:8101", "metrics/health HTTP address (empty disables)")
 	)
 	flag.Parse()
 
@@ -118,11 +121,34 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	reg := metrics.New()
+	weaver.Instrument(reg)
+	caller.Instrument(reg)
+	srv.Instrument(reg)
+	receiver.Instrument(reg)
+
 	receiver.ServeOn(mux)
 	receiver.Grantor().Start(time.Second)
 	defer receiver.Grantor().Stop()
 
 	log.Printf("node %s serving on %s", *name, srv.Addr())
+
+	if *httpAddr != "" {
+		health := metrics.NewHealth()
+		health.Register("transport", func() error {
+			conn, err := net.DialTimeout("tcp", srv.Addr(), 500*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			return conn.Close()
+		})
+		maddr, stopHTTP, err := metrics.ServeHTTP(*httpAddr, reg, health)
+		if err != nil {
+			return err
+		}
+		defer stopHTTP()
+		log.Printf("metrics on http://%s/metrics, health on http://%s/healthz", maddr, maddr)
+	}
 
 	client := &registry.Client{Caller: caller, Addr: *lookup}
 	stopAdv, err := receiver.Advertise(client, 30*time.Second, map[string]string{"kind": "plotter"})

@@ -1,0 +1,39 @@
+package aop
+
+import "testing"
+
+// FuzzParsePattern is the native-fuzzing counterpart of
+// TestParsePatternNeverPanics: crosscut patterns arrive from the network
+// inside extension descriptors, so the parser must reject garbage with
+// errors, never panics, and accepted patterns must match safely.
+func FuzzParsePattern(f *testing.F) {
+	for _, seed := range []string{
+		"void *.send*(bytes, ..)",
+		"*.*(..)",
+		"Motor.*(..)",
+		"Motor.rotate(int)",
+		"Motor.pos",
+		"int Math.sumTo(..)",
+		"(", ")", "..", "...", "*", "**", ".",
+		"a.b(,,,)", " a . b ( .. ) ", "\x00.\x00()",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePattern(src)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatalf("ParsePattern(%q): nil pattern without error", src)
+		}
+		sig := Signature{Class: "Motor", Method: "rotate", Return: "void", Params: []string{"int"}}
+		_ = p.MatchMethod(sig)
+		_ = p.MatchField("Motor", "pos")
+		// A pattern must reproduce its canonical source, and that source
+		// must parse again (String/Parse round trip).
+		if _, err := ParsePattern(p.String()); err != nil {
+			t.Fatalf("round trip of %q via %q: %v", src, p.String(), err)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/lease"
+	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/sign"
 	"repro/internal/store"
@@ -93,9 +94,46 @@ type Base struct {
 	adapted    map[string]*adaptedNode // by node addr
 	neighbors  []string
 	activity   []BaseActivity
+	reg        *metrics.Registry
+	m          baseMetrics
 
 	departures chan string
 	onDepart   func(nodeAddr string)
+}
+
+// baseMetrics counts the distribution side of adaptation, mirroring the
+// distribution log; all fields are nil-safe no-ops until Instrument.
+type baseMetrics struct {
+	adapts     *metrics.Counter
+	pushes     *metrics.Counter
+	pushErrors *metrics.Counter
+	departures *metrics.Counter
+	revokes    *metrics.Counter
+	roamHints  *metrics.Counter
+	adapted    *metrics.Gauge
+}
+
+// Instrument records node adaptations, extension pushes (and push failures),
+// departures, revocations and roaming hints in reg, plus the adapted-node
+// gauge. Lease renewers started for pushed extensions join the same registry.
+// A nil reg is a no-op.
+func (b *Base) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reg = reg
+	b.m = baseMetrics{
+		adapts:     reg.Counter("base.adapts"),
+		pushes:     reg.Counter("base.pushes"),
+		pushErrors: reg.Counter("base.push_errors"),
+		departures: reg.Counter("base.departures"),
+		revokes:    reg.Counter("base.revokes"),
+		roamHints:  reg.Counter("base.roam_hints"),
+		adapted:    reg.Gauge("base.adapted_nodes"),
+	}
+	b.m.adapted.Set(int64(len(b.adapted)))
 }
 
 // NewBase builds a base.
@@ -259,8 +297,11 @@ func (b *Base) AdaptNode(nodeID, nodeAddr string) error {
 	b.log("adapt", nodeID, "", fmt.Sprintf("%d extensions", len(exts)))
 	var firstErr error
 	for _, ext := range exts {
-		if err := b.pushExtension(n, ext); err != nil && firstErr == nil {
-			firstErr = err
+		if err := b.pushExtension(n, ext); err != nil {
+			b.log("push", nodeID, ext.Name, "failed: "+err.Error())
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	if firstErr != nil {
@@ -369,6 +410,11 @@ func (b *Base) pushExtension(n *adaptedNode, ext Extension) error {
 	renewer.SetRetries(b.cfg.RenewRetries)
 
 	b.mu.Lock()
+	reg := b.reg
+	b.mu.Unlock()
+	renewer.Instrument(reg)
+
+	b.mu.Lock()
 	if old, dup := n.renewers[ext.Name]; dup {
 		go old.Stop()
 	}
@@ -444,6 +490,23 @@ func (b *Base) log(ev, node, ext, detail string) {
 		Ext:      ext,
 		Detail:   detail,
 	})
+	switch ev {
+	case "adapt":
+		b.m.adapts.Inc()
+	case "push":
+		if detail == "" {
+			b.m.pushes.Inc()
+		} else {
+			b.m.pushErrors.Inc()
+		}
+	case "depart":
+		b.m.departures.Inc()
+	case "revoke":
+		b.m.revokes.Inc()
+	case "roam-hint":
+		b.m.roamHints.Inc()
+	}
+	b.m.adapted.Set(int64(len(b.adapted)))
 }
 
 // ServeOn registers the base's RPC surface on mux: the monitoring record

@@ -11,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/lease"
 	"repro/internal/lvm"
+	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/sandbox"
 	"repro/internal/sign"
@@ -74,6 +75,42 @@ type Receiver struct {
 	mu        sync.Mutex
 	installed map[string]*installedExt // by extension Name
 	activity  []Activity
+	reg       *metrics.Registry
+	m         receiverMetrics
+}
+
+// receiverMetrics counts adaptation lifecycle events, mirroring the activity
+// log; all fields are nil-safe no-ops until Instrument.
+type receiverMetrics struct {
+	installs    *metrics.Counter
+	replaces    *metrics.Counter
+	withdrawals *metrics.Counter
+	expiries    *metrics.Counter
+	rejects     *metrics.Counter
+	installed   *metrics.Gauge
+}
+
+// Instrument records extension installs, replacements, withdrawals, lease
+// expiries and signature/policy rejections in reg, plus the installed-set
+// gauge. The receiver's grantor joins the same registry, and ServeOn gains a
+// midas.metrics method exposing the full snapshot. A nil reg is a no-op.
+func (r *Receiver) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r.grantor.Instrument(reg)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reg = reg
+	r.m = receiverMetrics{
+		installs:    reg.Counter("ext.installs"),
+		replaces:    reg.Counter("ext.replaces"),
+		withdrawals: reg.Counter("ext.withdrawals"),
+		expiries:    reg.Counter("ext.expiries"),
+		rejects:     reg.Counter("ext.rejects"),
+		installed:   reg.Gauge("ext.installed"),
+	}
+	r.m.installed.Set(int64(len(r.installed)))
 }
 
 // NewReceiver builds a receiver. Weaver, Trust and Policy are required;
@@ -339,6 +376,19 @@ func (r *Receiver) log(event, ext, base, detail string) {
 		Base:     base,
 		Detail:   detail,
 	})
+	switch event {
+	case "install":
+		r.m.installs.Inc()
+	case "replace":
+		r.m.replaces.Inc()
+	case "withdraw":
+		r.m.withdrawals.Inc()
+	case "expire":
+		r.m.expiries.Inc()
+	case "reject":
+		r.m.rejects.Inc()
+	}
+	r.m.installed.Set(int64(len(r.installed)))
 }
 
 // ShutdownBody is implemented by advice bodies that need a shutdown
@@ -371,6 +421,10 @@ func (r *Receiver) Advertise(client *registry.Client, dur time.Duration, attrs m
 			return lease.Lease{ID: id, Duration: d}, nil
 		},
 		0.5, nil)
+	r.mu.Lock()
+	reg := r.reg
+	r.mu.Unlock()
+	renewer.Instrument(reg)
 	renewer.Start()
 	return func() {
 		renewer.Stop()
@@ -384,6 +438,7 @@ const (
 	MethodRenewE  = "midas.renew"
 	MethodRevoke  = "midas.revoke"
 	MethodList    = "midas.list"
+	MethodMetrics = "midas.metrics"
 )
 
 // Wire types for the receiver RPC surface.
@@ -411,6 +466,10 @@ type (
 	ListResp struct {
 		Extensions []ExtensionInfo
 	}
+	// MetricsResp carries a node's metrics snapshot.
+	MetricsResp struct {
+		Snap metrics.Snapshot
+	}
 	// EmptyResp is the empty response.
 	EmptyResp struct{}
 )
@@ -432,5 +491,14 @@ func (r *Receiver) ServeOn(mux *transport.Mux) {
 	})
 	transport.Register(mux, MethodList, func(_ context.Context, _ EmptyResp) (ListResp, error) {
 		return ListResp{Extensions: r.Installed()}, nil
+	})
+	transport.Register(mux, MethodMetrics, func(_ context.Context, _ EmptyResp) (MetricsResp, error) {
+		r.mu.Lock()
+		reg := r.reg
+		r.mu.Unlock()
+		if reg == nil {
+			return MetricsResp{}, fmt.Errorf("core: node %s is not instrumented", r.cfg.NodeName)
+		}
+		return MetricsResp{Snap: reg.Snapshot()}, nil
 	})
 }

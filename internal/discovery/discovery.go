@@ -11,6 +11,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Announcement advertises a lookup service.
@@ -30,6 +32,30 @@ type Bus struct {
 	mu     sync.Mutex
 	subs   map[int]*busSub
 	nextID int
+	m      busMetrics
+}
+
+// busMetrics counts announcement traffic; nil-safe no-ops until Instrument.
+type busMetrics struct {
+	announces   *metrics.Counter
+	deliveries  *metrics.Counter
+	subscribers *metrics.Gauge
+}
+
+// Instrument records published announcements, per-subscriber deliveries (after
+// filtering) and the live-subscriber gauge in reg. A nil reg is a no-op.
+func (b *Bus) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m = busMetrics{
+		announces:   reg.Counter("discovery.announces"),
+		deliveries:  reg.Counter("discovery.deliveries"),
+		subscribers: reg.Gauge("discovery.subscribers"),
+	}
+	b.m.subscribers.Set(int64(len(b.subs)))
 }
 
 type busSub struct {
@@ -49,9 +75,12 @@ func (b *Bus) Announce(a Announcement) {
 	for _, s := range b.subs {
 		subs = append(subs, s)
 	}
+	m := b.m
 	b.mu.Unlock()
+	m.announces.Inc()
 	for _, s := range subs {
 		if s.filter == nil || s.filter(a) {
+			m.deliveries.Inc()
 			s.fn(a)
 		}
 	}
@@ -64,10 +93,12 @@ func (b *Bus) Subscribe(fn func(Announcement), filter func(Announcement) bool) f
 	b.nextID++
 	id := b.nextID
 	b.subs[id] = &busSub{fn: fn, filter: filter}
+	b.m.subscribers.Set(int64(len(b.subs)))
 	b.mu.Unlock()
 	return func() {
 		b.mu.Lock()
 		delete(b.subs, id)
+		b.m.subscribers.Set(int64(len(b.subs)))
 		b.mu.Unlock()
 	}
 }

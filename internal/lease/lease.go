@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
 )
 
 // ID identifies a lease at its grantor.
@@ -46,9 +47,41 @@ type Grantor struct {
 
 	mu     sync.Mutex
 	grants map[ID]*grant
+	m      grantorMetrics
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// grantorMetrics aggregates lease lifecycle counters; all fields are nil-safe
+// no-ops until Instrument.
+type grantorMetrics struct {
+	grants      *metrics.Counter
+	renewals    *metrics.Counter
+	renewErrors *metrics.Counter
+	cancels     *metrics.Counter
+	expiries    *metrics.Counter
+	active      *metrics.Gauge
+}
+
+// Instrument records grants, renewals (and renewal errors), cancellations,
+// expiries and the live-lease gauge in reg. Grantors sharing one registry
+// aggregate into the same counters. A nil reg is a no-op.
+func (g *Grantor) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.m = grantorMetrics{
+		grants:      reg.Counter("lease.grants"),
+		renewals:    reg.Counter("lease.renewals"),
+		renewErrors: reg.Counter("lease.renew_errors"),
+		cancels:     reg.Counter("lease.cancels"),
+		expiries:    reg.Counter("lease.expiries"),
+		active:      reg.Gauge("lease.active"),
+	}
+	g.m.active.Set(int64(len(g.grants)))
 }
 
 // NewGrantor returns a Grantor on the given clock.
@@ -66,6 +99,8 @@ func (g *Grantor) Grant(d time.Duration, onExpire func(ID)) Lease {
 	l := Lease{ID: id, Expiry: g.clk.Now().Add(d), Duration: d}
 	g.mu.Lock()
 	g.grants[id] = &grant{lease: l, onExpire: onExpire}
+	g.m.grants.Inc()
+	g.m.active.Set(int64(len(g.grants)))
 	g.mu.Unlock()
 	return l
 }
@@ -76,14 +111,17 @@ func (g *Grantor) Renew(id ID, d time.Duration) (Lease, error) {
 	defer g.mu.Unlock()
 	gr, ok := g.grants[id]
 	if !ok {
+		g.m.renewErrors.Inc()
 		return Lease{}, ErrUnknownLease
 	}
 	now := g.clk.Now()
 	if gr.lease.Expiry.Before(now) {
+		g.m.renewErrors.Inc()
 		return Lease{}, ErrExpired
 	}
 	gr.lease.Expiry = now.Add(d)
 	gr.lease.Duration = d
+	g.m.renewals.Inc()
 	return gr.lease, nil
 }
 
@@ -95,6 +133,8 @@ func (g *Grantor) Cancel(id ID) error {
 		return ErrUnknownLease
 	}
 	delete(g.grants, id)
+	g.m.cancels.Inc()
+	g.m.active.Set(int64(len(g.grants)))
 	return nil
 }
 
@@ -125,6 +165,8 @@ func (g *Grantor) ExpireNow() int {
 			fired = append(fired, gr)
 		}
 	}
+	g.m.expiries.Add(uint64(len(fired)))
+	g.m.active.Set(int64(len(g.grants)))
 	g.mu.Unlock()
 	for _, gr := range fired {
 		if gr.onExpire != nil {
@@ -187,10 +229,33 @@ type Renewer struct {
 	lease    Lease
 	fraction float64
 	retries  int
+	m        renewerMetrics
 
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
+}
+
+// renewerMetrics counts holder-side renewal traffic; nil-safe until
+// Instrument.
+type renewerMetrics struct {
+	renews   *metrics.Counter
+	retries  *metrics.Counter
+	failures *metrics.Counter
+}
+
+// Instrument records the renewals this holder sends, the in-lease retries it
+// needs on lossy links, and terminal renewal failures. Like SetRetries it
+// must be called before Start. A nil reg is a no-op.
+func (r *Renewer) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r.m = renewerMetrics{
+		renews:   reg.Counter("lease.renews_sent"),
+		retries:  reg.Counter("lease.renew_retries"),
+		failures: reg.Counter("lease.renew_failures"),
+	}
 }
 
 // NewRenewer returns a renewer for l. fraction in (0,1) controls when the
@@ -238,11 +303,13 @@ func (r *Renewer) Start() {
 			}
 			l, err := r.renewWithRetry()
 			if err != nil {
+				r.m.failures.Inc()
 				if r.onFail != nil {
 					r.onFail(err)
 				}
 				return
 			}
+			r.m.renews.Inc()
 			r.lease = l
 		}
 	}()
@@ -265,6 +332,7 @@ func (r *Renewer) renewWithRetry() (Lease, error) {
 			return Lease{}, err
 		case <-r.clk.After(gap):
 		}
+		r.m.retries.Inc()
 		if l, rerr := r.renew(r.lease.ID, r.lease.Duration); rerr == nil {
 			return l, nil
 		} else {

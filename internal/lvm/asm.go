@@ -306,6 +306,9 @@ func (a *methodAsm) line(text string) error {
 		a.m.NumLocals++
 		return nil
 	case "locals":
+		if len(f) != 2 {
+			return fmt.Errorf("locals needs a count")
+		}
 		n, err := strconv.Atoi(f[1])
 		if err != nil {
 			return err
@@ -346,6 +349,9 @@ func (a *methodAsm) line(text string) error {
 		a.emit(Instr{Op: OpConst, A: a.constIdx(v)})
 		return nil
 	case "load", "store":
+		if len(f) != 2 {
+			return fmt.Errorf("%s needs a slot", op)
+		}
 		s, err := a.slot(f[1])
 		if err != nil {
 			return err
@@ -357,6 +363,9 @@ func (a *methodAsm) line(text string) error {
 		a.emit(Instr{Op: o, A: s})
 		return nil
 	case "getself", "setself":
+		if len(f) != 2 {
+			return fmt.Errorf("%s needs a field", op)
+		}
 		idx, err := a.fieldSlot(f[1])
 		if err != nil {
 			return err
@@ -368,6 +377,9 @@ func (a *methodAsm) line(text string) error {
 		a.emit(Instr{Op: o, A: idx, Sym: symbolicField(f[1])})
 		return nil
 	case "getfield", "setfield":
+		if len(f) != 2 {
+			return fmt.Errorf("%s needs a field", op)
+		}
 		idx, err := a.fieldSlot(f[1])
 		if err != nil {
 			return err
@@ -379,6 +391,9 @@ func (a *methodAsm) line(text string) error {
 		a.emit(Instr{Op: o, A: idx, Sym: symbolicField(f[1])})
 		return nil
 	case "jmp", "jmpf":
+		if len(f) != 2 {
+			return fmt.Errorf("%s needs a label", op)
+		}
 		o := OpJump
 		if op == "jmpf" {
 			o = OpJumpFalse

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Handler serves the registry's snapshot as JSON (expvar-style): counters and
+// gauges as flat name → value maps, histograms with bounds, per-bucket counts,
+// total count and sum.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// WriteText pretty-prints a snapshot, sorted by name: one line per counter
+// and gauge, a count/mean summary plus bucket rows per histogram. Used by
+// `midasctl metrics` and handy in tests.
+func WriteText(w io.Writer, s Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-32s %d\n", n, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-32s %d\n", n, s.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		mean := time.Duration(0)
+		if h.Count > 0 {
+			mean = time.Duration(h.Sum / int64(h.Count))
+		}
+		fmt.Fprintf(w, "%-32s count=%d mean=%s\n", n, h.Count, mean)
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(w, "%-32s   <= %-12s %d\n", "", time.Duration(h.Bounds[i]), c)
+			} else {
+				fmt.Fprintf(w, "%-32s    > %-12s %d\n", "", time.Duration(h.Bounds[len(h.Bounds)-1]), c)
+			}
+		}
+	}
+}
+
+// Health aggregates named liveness checks for a /healthz endpoint.
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth returns an empty health checker (healthy by definition).
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error)}
+}
+
+// Register adds (or replaces) a named check. fn returns nil when healthy.
+func (h *Health) Register(name string, fn func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks[name] = fn
+}
+
+// Check runs every registered check and reports per-check errors (nil entry =
+// healthy) plus overall health.
+func (h *Health) Check() (map[string]error, bool) {
+	h.mu.Lock()
+	checks := make(map[string]func() error, len(h.checks))
+	for n, fn := range h.checks {
+		checks[n] = fn
+	}
+	h.mu.Unlock()
+
+	out := make(map[string]error, len(checks))
+	ok := true
+	for n, fn := range checks {
+		err := fn()
+		out[n] = err
+		if err != nil {
+			ok = false
+		}
+	}
+	return out, ok
+}
+
+// Handler serves the check results: HTTP 200 with "ok" per healthy check, 503
+// when any check fails.
+func (h *Health) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		results, ok := h.Check()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		names := make([]string, 0, len(results))
+		for n := range results {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if err := results[n]; err != nil {
+				fmt.Fprintf(w, "%s: %v\n", n, err)
+			} else {
+				fmt.Fprintf(w, "%s: ok\n", n)
+			}
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(w, "ok")
+		}
+	})
+}
+
+// ServeHTTP starts an HTTP server on addr exposing /metrics (the registry
+// snapshot) and /healthz (the health checks). It returns the bound address
+// and a shutdown function. addr may end in ":0" to pick a free port.
+func ServeHTTP(addr string, r *Registry, h *Health) (string, func(), error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	if h == nil {
+		h = NewHealth()
+	}
+	mux.Handle("/healthz", h.Handler())
+	srv := &http.Server{Handler: mux}
+	ln, err := listen(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,9 @@
+package metrics
+
+import "net"
+
+// listen is split out so metrics.go stays free of net imports (the instrument
+// core has no I/O dependencies at all).
+func listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,308 @@
+// Package metrics is the platform's observability core: a dependency-free,
+// lock-light registry of atomic counters, gauges and fixed-bucket latency
+// histograms. The paper's evaluation (§4.6: hook overhead, per-interception
+// cost, lease-driven revocation latency) rests on being able to observe the
+// middleware; this package is the introspection feed those numbers come from
+// at run time, without one-off benchmarks.
+//
+// Design rules, mirroring the minimal-hook philosophy of the weaver:
+//
+//   - Every instrument is a single atomic word (counters, gauges) or a small
+//     array of atomic words (histograms). No locks on the update path.
+//   - All instrument methods are nil-receiver safe and no-ops on nil, and a
+//     nil *Registry hands out nil instruments. Components therefore accept an
+//     optional registry and instrument themselves unconditionally; an
+//     un-instrumented deployment pays only a predictable nil check, and only
+//     on paths that are already slow (dispatch, RPC, weave) — never on the
+//     inactive join-point fast path, which stays one atomic pointer load.
+//   - Snapshot() gives a consistent read: histogram totals are derived from
+//     the very bucket counts captured in the snapshot, so the invariant
+//     Count == sum(Counts) holds in every snapshot even under concurrent
+//     writers.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op sink.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to use; a
+// nil *Gauge is a no-op sink.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBuckets are the histogram bounds used for latency instruments
+// across the platform: 1 µs … 10 s in decades, in nanoseconds. The paper's
+// interesting latencies (900 ns interceptions, µs-scale weaves, ms-scale
+// revocations, wireless RPC round trips) all land inside this range.
+var DefaultLatencyBuckets = []int64{
+	1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000,
+}
+
+// Histogram counts observations into fixed buckets. Bucket i holds values
+// v <= Bounds[i] (first matching bound); one implicit overflow bucket holds
+// everything above the last bound. A nil *Histogram is a no-op sink.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which are
+// sorted and de-duplicated. Empty bounds fall back to DefaultLatencyBuckets.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	uniq := bs[:1]
+	for _, b := range bs[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+}
+
+// Observe records v into its bucket.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Buckets are few (≤ ~10): linear scan beats binary search in practice
+	// and keeps the update branch-predictable.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Since records the elapsed time from t0 in nanoseconds.
+func (h *Histogram) Since(t0 time.Time) {
+	if h != nil {
+		h.Observe(int64(time.Since(t0)))
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// HistSnapshot is one histogram's consistent view: Count is derived from the
+// captured Counts, so Count == sum(Counts) always holds.
+type HistSnapshot struct {
+	Bounds []int64  // upper bounds; Counts has one extra overflow bucket
+	Counts []uint64 // len(Bounds)+1
+	Count  uint64
+	Sum    int64
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Snapshot is a point-in-time view of a registry.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistSnapshot
+}
+
+// Registry names and hands out instruments. Instrument lookup takes a lock;
+// updates through the returned instruments never do. A nil *Registry hands
+// out nil (no-op) instruments, so components can instrument themselves
+// unconditionally.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds on
+// first use (later callers get the existing instrument regardless of bounds;
+// nil bounds mean DefaultLatencyBuckets). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h = NewHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot captures every instrument. Safe under concurrent writes; each
+// histogram's Count is internally consistent with its captured buckets.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.snapshot()
+	}
+	return s
+}

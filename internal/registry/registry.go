@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/lease"
+	"repro/internal/metrics"
 )
 
 // ServiceItem is one advertised service.
@@ -98,6 +99,43 @@ type Lookup struct {
 	byLease  map[lease.ID]string
 	watchers map[string]*watcher
 	nextW    int
+	m        lookupMetrics
+}
+
+// lookupMetrics aggregates service-brokerage traffic; all fields are nil-safe
+// no-ops until Instrument.
+type lookupMetrics struct {
+	registers   *metrics.Counter
+	deregisters *metrics.Counter
+	lookups     *metrics.Counter
+	watches     *metrics.Counter
+	events      *metrics.Counter
+	services    *metrics.Gauge
+	watchers    *metrics.Gauge
+}
+
+// Instrument records registrations, deregistrations, template lookups, watch
+// subscriptions and delivered watcher events in reg, plus gauges for live
+// services and watchers. The lookup's grantor is instrumented too, so lease
+// traffic lands in the same registry. A nil reg is a no-op.
+func (l *Lookup) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	l.grantor.Instrument(reg)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m = lookupMetrics{
+		registers:   reg.Counter("registry.registers"),
+		deregisters: reg.Counter("registry.deregisters"),
+		lookups:     reg.Counter("registry.lookups"),
+		watches:     reg.Counter("registry.watches"),
+		events:      reg.Counter("registry.events_delivered"),
+		services:    reg.Gauge("registry.services"),
+		watchers:    reg.Gauge("registry.watchers"),
+	}
+	l.m.services.Set(int64(len(l.items)))
+	l.m.watchers.Set(int64(len(l.watchers)))
 }
 
 // NewLookup returns an empty lookup service on clk.
@@ -134,9 +172,13 @@ func (l *Lookup) Register(item ServiceItem, dur time.Duration) (lease.Lease, err
 	l.items[item.ID] = &entry{item: item, leaseID: gl.ID}
 	l.byLease[gl.ID] = item.ID
 	watchers := l.matchingWatchersLocked(item)
+	l.m.registers.Inc()
+	l.m.services.Set(int64(len(l.items)))
+	events := l.m.events
 	l.mu.Unlock()
 
 	for _, w := range watchers {
+		events.Inc()
 		w.notify(Event{Kind: Added, Item: item})
 	}
 	return gl, nil
@@ -159,9 +201,13 @@ func (l *Lookup) Deregister(serviceID string) error {
 	delete(l.byLease, e.leaseID)
 	_ = l.grantor.Cancel(e.leaseID)
 	watchers := l.matchingWatchersLocked(e.item)
+	l.m.deregisters.Inc()
+	l.m.services.Set(int64(len(l.items)))
+	events := l.m.events
 	l.mu.Unlock()
 
 	for _, w := range watchers {
+		events.Inc()
 		w.notify(Event{Kind: Removed, Item: e.item})
 	}
 	return nil
@@ -171,6 +217,7 @@ func (l *Lookup) Deregister(serviceID string) error {
 func (l *Lookup) Find(tmpl Template) []ServiceItem {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.m.lookups.Inc()
 	var out []ServiceItem
 	for _, e := range l.items {
 		if tmpl.Matches(e.item) {
@@ -195,6 +242,8 @@ func (l *Lookup) WatchFull(tmpl Template, dur time.Duration, notify func(Event),
 	id := "w" + strconv.Itoa(l.nextW)
 	w := &watcher{id: id, tmpl: tmpl, notify: notify, onRemoved: onRemoved}
 	l.watchers[id] = w
+	l.m.watches.Inc()
+	l.m.watchers.Set(int64(len(l.watchers)))
 	l.mu.Unlock()
 
 	gl := l.grantor.Grant(dur, func(lease.ID) { l.Unwatch(id) })
@@ -221,6 +270,7 @@ func (l *Lookup) Unwatch(id string) {
 	w, ok := l.watchers[id]
 	if ok {
 		delete(l.watchers, id)
+		l.m.watchers.Set(int64(len(l.watchers)))
 	}
 	l.mu.Unlock()
 	if ok {
@@ -252,9 +302,12 @@ func (l *Lookup) expireLease(id lease.ID) {
 	delete(l.items, serviceID)
 	delete(l.byLease, id)
 	watchers := l.matchingWatchersLocked(e.item)
+	l.m.services.Set(int64(len(l.items)))
+	events := l.m.events
 	l.mu.Unlock()
 
 	for _, w := range watchers {
+		events.Inc()
 		w.notify(Event{Kind: Removed, Item: e.item})
 	}
 }

@@ -2,10 +2,54 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
+
+// fabricMetrics is the RPC accounting shared by the in-proc and TCP fabrics;
+// all fields are nil-safe no-ops when un-instrumented.
+type fabricMetrics struct {
+	calls    *metrics.Counter
+	errors   *metrics.Counter
+	timeouts *metrics.Counter
+	losses   *metrics.Counter
+	bytesOut *metrics.Counter
+	bytesIn  *metrics.Counter
+	callNs   *metrics.Histogram
+}
+
+func newFabricMetrics(reg *metrics.Registry) *fabricMetrics {
+	return &fabricMetrics{
+		calls:    reg.Counter("transport.calls"),
+		errors:   reg.Counter("transport.call_errors"),
+		timeouts: reg.Counter("transport.timeouts"),
+		losses:   reg.Counter("transport.injected_losses"),
+		bytesOut: reg.Counter("transport.bytes_sent"),
+		bytesIn:  reg.Counter("transport.bytes_received"),
+		callNs:   reg.Histogram("transport.call_ns", nil),
+	}
+}
+
+// finishCall records the outcome of one RPC on the caller side.
+func (fm *fabricMetrics) finishCall(start time.Time, err error) {
+	if fm == nil {
+		return
+	}
+	fm.callNs.Since(start)
+	if err != nil {
+		fm.errors.Inc()
+		var ne net.Error
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
+			(errors.As(err, &ne) && ne.Timeout()) {
+			fm.timeouts.Inc()
+		}
+	}
+}
 
 // InProc is an in-process RPC fabric. It simulates the wireless network of
 // the paper's testbed: a LinkFunc (typically wired to the mobility
@@ -19,6 +63,19 @@ type InProc struct {
 	lossNum  uint64 // drop lossNum out of every lossDen calls
 	lossDen  uint64
 	lossTick uint64
+	m        *fabricMetrics
+}
+
+// Instrument records every call through the fabric (count, errors, timeouts,
+// payload bytes, latency) and each deterministically injected loss in reg. A
+// nil reg is a no-op.
+func (n *InProc) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.m = newFabricMetrics(reg)
 }
 
 // NewInProc returns a fully connected fabric with zero latency.
@@ -59,7 +116,11 @@ func (n *InProc) dropCall() bool {
 	tick := n.lossTick
 	n.lossTick++
 	// Evenly spread: drop when the scaled counter crosses a unit boundary.
-	return (tick*n.lossNum)/n.lossDen != ((tick+1)*n.lossNum)/n.lossDen
+	drop := (tick*n.lossNum)/n.lossDen != ((tick+1)*n.lossNum)/n.lossDen
+	if drop && n.m != nil {
+		n.m.losses.Inc()
+	}
+	return drop
 }
 
 // Serve attaches h at addr. The returned stop function detaches it.
@@ -89,12 +150,18 @@ type inprocCaller struct {
 }
 
 // Call implements Caller.
-func (c *inprocCaller) Call(ctx context.Context, to, method string, req, resp any) error {
+func (c *inprocCaller) Call(ctx context.Context, to, method string, req, resp any) (err error) {
 	c.net.mu.RLock()
 	h, ok := c.net.nodes[to]
 	linked := c.net.linked
 	latency := c.net.latency
+	fm := c.net.m
 	c.net.mu.RUnlock()
+	if fm != nil {
+		fm.calls.Inc()
+		start := time.Now()
+		defer func() { fm.finishCall(start, err) }()
+	}
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
@@ -115,9 +182,15 @@ func (c *inprocCaller) Call(ctx context.Context, to, method string, req, resp an
 	if err != nil {
 		return err
 	}
+	if fm != nil {
+		fm.bytesOut.Add(uint64(len(body)))
+	}
 	out, err := h.Handle(ctx, method, body)
 	if err != nil {
 		return &RemoteError{Method: method, Msg: err.Error()}
+	}
+	if fm != nil {
+		fm.bytesIn.Add(uint64(len(out)))
 	}
 	if latency > 0 {
 		select {

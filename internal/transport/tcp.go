@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // wire envelope types.
@@ -30,6 +33,35 @@ type TCPServer struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	m atomic.Pointer[serverMetrics]
+}
+
+// serverMetrics is the serve-side RPC accounting.
+type serverMetrics struct {
+	requests  *metrics.Counter
+	errors    *metrics.Counter
+	bytesIn   *metrics.Counter
+	bytesOut  *metrics.Counter
+	handleNs  *metrics.Histogram
+	openConns *metrics.Gauge
+}
+
+// Instrument records served requests (count, errors, payload bytes, handler
+// latency) and the open-connection gauge in reg. Safe to call while serving;
+// a nil reg is a no-op.
+func (s *TCPServer) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.m.Store(&serverMetrics{
+		requests:  reg.Counter("transport.serve_requests"),
+		errors:    reg.Counter("transport.serve_errors"),
+		bytesIn:   reg.Counter("transport.serve_bytes_received"),
+		bytesOut:  reg.Counter("transport.serve_bytes_sent"),
+		handleNs:  reg.Histogram("transport.serve_ns", nil),
+		openConns: reg.Gauge("transport.serve_open_conns"),
+	})
 }
 
 // ServeTCP starts a server on addr ("127.0.0.1:0" picks a free port).
@@ -86,11 +118,17 @@ func (s *TCPServer) acceptLoop() {
 
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	if sm := s.m.Load(); sm != nil {
+		sm.openConns.Add(1)
+	}
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		if sm := s.m.Load(); sm != nil {
+			sm.openConns.Add(-1)
+		}
 	}()
 
 	dec := gob.NewDecoder(conn)
@@ -100,10 +138,24 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		sm := s.m.Load()
+		start := time.Time{}
+		if sm != nil {
+			sm.requests.Inc()
+			sm.bytesIn.Add(uint64(len(req.Body)))
+			start = time.Now()
+		}
 		body, err := s.handler.Handle(context.Background(), req.Method, req.Body)
 		resp := tcpResponse{Body: body}
 		if err != nil {
 			resp.Err = err.Error()
+		}
+		if sm != nil {
+			sm.handleNs.Since(start)
+			if err != nil {
+				sm.errors.Inc()
+			}
+			sm.bytesOut.Add(uint64(len(body)))
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
@@ -118,6 +170,18 @@ type TCPCaller struct {
 
 	mu    sync.Mutex
 	conns map[string]*tcpClientConn
+
+	m atomic.Pointer[fabricMetrics]
+}
+
+// Instrument records every outbound call (count, errors, timeouts, payload
+// bytes, latency) in reg, sharing metric names with the in-proc fabric. Safe
+// to call while calls are in flight; a nil reg is a no-op.
+func (c *TCPCaller) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	c.m.Store(newFabricMetrics(reg))
 }
 
 type tcpClientConn struct {
@@ -133,7 +197,12 @@ func NewTCPCaller() *TCPCaller {
 }
 
 // Call implements Caller. to is a host:port address.
-func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) error {
+func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) (err error) {
+	if fm := c.m.Load(); fm != nil {
+		fm.calls.Inc()
+		start := time.Now()
+		defer func() { fm.finishCall(start, err) }()
+	}
 	body, err := Encode(req)
 	if err != nil {
 		return err
@@ -149,13 +218,20 @@ func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) 
 	} else {
 		_ = cc.conn.SetDeadline(time.Time{})
 	}
+	fm := c.m.Load()
 	callErr := func() error {
 		if err := cc.enc.Encode(&tcpRequest{Method: method, Body: body}); err != nil {
 			return err
 		}
+		if fm != nil {
+			fm.bytesOut.Add(uint64(len(body)))
+		}
 		var out tcpResponse
 		if err := cc.dec.Decode(&out); err != nil {
 			return err
+		}
+		if fm != nil {
+			fm.bytesIn.Add(uint64(len(out.Body)))
 		}
 		if out.Err != "" {
 			return &RemoteError{Method: method, Msg: out.Err}

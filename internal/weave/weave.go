@@ -14,8 +14,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aop"
+	"repro/internal/metrics"
 )
 
 // Site is one static join point in a woven application. The JIT plants a
@@ -26,6 +28,16 @@ type Site struct {
 	Field string
 
 	chain atomic.Pointer[chain]
+
+	// metrics is consulted only on the dispatch slow path (chain != nil);
+	// the inactive fast path — Active(), one atomic load — never touches it.
+	metrics atomic.Pointer[siteMetrics]
+}
+
+// siteMetrics is the per-weaver dispatch accounting shared by all sites.
+type siteMetrics struct {
+	dispatches *metrics.Counter
+	errors     *metrics.Counter
 }
 
 type chain struct {
@@ -59,11 +71,21 @@ func (s *Site) Dispatch(ctx *aop.Context) error {
 	if c == nil {
 		return nil
 	}
+	sm := s.metrics.Load()
+	if sm != nil {
+		sm.dispatches.Inc()
+	}
 	for i := range c.entries {
 		if err := c.entries[i].advice.Body.Exec(ctx); err != nil {
+			if sm != nil {
+				sm.errors.Inc()
+			}
 			return err
 		}
 		if err := ctx.Aborted(); err != nil {
+			if sm != nil {
+				sm.errors.Inc()
+			}
 			return err
 		}
 	}
@@ -76,6 +98,68 @@ type Weaver struct {
 	sites   []*Site
 	aspects map[string]*insertedAspect
 	seq     int
+
+	m *weaverMetrics // nil until Instrument
+}
+
+// weaverMetrics holds the weaver's own instruments plus the shared dispatch
+// accounting handed to every site.
+type weaverMetrics struct {
+	site        *siteMetrics
+	inserts     *metrics.Counter
+	withdraws   *metrics.Counter
+	insertNs    *metrics.Histogram
+	withdrawNs  *metrics.Histogram
+	aspects     *metrics.Gauge
+	sites       *metrics.Gauge
+	activeSites *metrics.Gauge
+}
+
+// Instrument wires the weaver (and every current and future site) into reg:
+// interception dispatches and advice errors, weave/withdraw latencies, and
+// gauges for registered sites, active sites and active aspects. A nil reg is
+// a no-op. Site dispatch accounting lives strictly on the dispatch slow path;
+// the inactive join-point fast path stays a single atomic pointer load.
+func (w *Weaver) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	wm := &weaverMetrics{
+		site: &siteMetrics{
+			dispatches: reg.Counter("weave.dispatches"),
+			errors:     reg.Counter("weave.dispatch_errors"),
+		},
+		inserts:     reg.Counter("weave.inserts"),
+		withdraws:   reg.Counter("weave.withdraws"),
+		insertNs:    reg.Histogram("weave.insert_ns", nil),
+		withdrawNs:  reg.Histogram("weave.withdraw_ns", nil),
+		aspects:     reg.Gauge("weave.aspects"),
+		sites:       reg.Gauge("weave.sites"),
+		activeSites: reg.Gauge("weave.active_sites"),
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.m = wm
+	for _, s := range w.sites {
+		s.metrics.Store(wm.site)
+	}
+	w.refreshGaugesLocked()
+}
+
+// refreshGaugesLocked republishes the structural gauges after a change.
+func (w *Weaver) refreshGaugesLocked() {
+	if w.m == nil {
+		return
+	}
+	w.m.aspects.Set(int64(len(w.aspects)))
+	w.m.sites.Set(int64(len(w.sites)))
+	active := 0
+	for _, s := range w.sites {
+		if s.Active() {
+			active++
+		}
+	}
+	w.m.activeSites.Set(int64(active))
 }
 
 type insertedAspect struct {
@@ -108,8 +192,12 @@ func (w *Weaver) RegisterFieldSite(kind aop.Kind, class, field string) *Site {
 func (w *Weaver) addSite(s *Site) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.m != nil {
+		s.metrics.Store(w.m.site)
+	}
 	w.sites = append(w.sites, s)
 	w.recomputeLocked(s)
+	w.refreshGaugesLocked()
 }
 
 // Insert activates an aspect: its advice is woven into every currently
@@ -138,9 +226,18 @@ func (w *Weaver) Insert(a *aop.Aspect) error {
 	if _, dup := w.aspects[a.Name]; dup {
 		return fmt.Errorf("weave: aspect %q already inserted", a.Name)
 	}
+	start := time.Time{}
+	if w.m != nil {
+		start = time.Now()
+	}
 	w.seq++
 	w.aspects[a.Name] = &insertedAspect{aspect: a, seq: w.seq}
 	w.recomputeAllLocked()
+	if w.m != nil {
+		w.m.inserts.Inc()
+		w.m.insertNs.Since(start)
+		w.refreshGaugesLocked()
+	}
 	return nil
 }
 
@@ -153,8 +250,17 @@ func (w *Weaver) Withdraw(name string) error {
 		w.mu.Unlock()
 		return fmt.Errorf("weave: aspect %q not inserted", name)
 	}
+	start := time.Time{}
+	if w.m != nil {
+		start = time.Now()
+	}
 	delete(w.aspects, name)
 	w.recomputeAllLocked()
+	if w.m != nil {
+		w.m.withdraws.Inc()
+		w.m.withdrawNs.Since(start)
+		w.refreshGaugesLocked()
+	}
 	w.mu.Unlock()
 
 	if ins.aspect.OnShutdown != nil {
@@ -187,10 +293,19 @@ func (w *Weaver) Replace(oldName string, a *aop.Aspect) error {
 			return fmt.Errorf("weave: aspect %q already inserted", a.Name)
 		}
 	}
+	start := time.Time{}
+	if w.m != nil {
+		start = time.Now()
+	}
 	delete(w.aspects, oldName)
 	w.seq++
 	w.aspects[a.Name] = &insertedAspect{aspect: a, seq: w.seq}
 	w.recomputeAllLocked()
+	if w.m != nil {
+		w.m.inserts.Inc()
+		w.m.insertNs.Since(start)
+		w.refreshGaugesLocked()
+	}
 	w.mu.Unlock()
 
 	if old.aspect.OnShutdown != nil {

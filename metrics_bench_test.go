@@ -1,0 +1,61 @@
+// Benchmarks for the observability layer: the cost of metrics on the two
+// paths that matter — the inactive join-point fast path (must stay one atomic
+// load regardless of instrumentation) and the dispatch slow path (where the
+// counters live). The no-op sink arm is a nil registry, which hands out
+// nil-safe no-op instruments.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/aop"
+	"repro/internal/metrics"
+	"repro/internal/weave"
+)
+
+func BenchmarkMetricsOverhead(b *testing.B) {
+	arms := []struct {
+		name string
+		reg  *metrics.Registry
+	}{
+		{"noop-sink", nil},
+		{"metrics-on", metrics.New()},
+	}
+	for _, arm := range arms {
+		w := weave.New()
+		w.Instrument(arm.reg)
+		idle := w.RegisterMethodSite(aop.MethodEntry,
+			aop.Signature{Class: "Idle", Method: "m", Return: "void"})
+		hot := w.RegisterMethodSite(aop.MethodEntry,
+			aop.Signature{Class: "Hot", Method: "m", Return: "void"})
+		if err := w.Insert(&aop.Aspect{Name: "noop", Advices: []aop.Advice{
+			aop.BeforeCall("Hot.m(..)", aop.BodyFunc(func(*aop.Context) error { return nil })),
+		}}); err != nil {
+			b.Fatal(err)
+		}
+		if idle.Active() || !hot.Active() {
+			b.Fatal("unexpected site activity")
+		}
+
+		b.Run("fast-path/"+arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if idle.Active() {
+					b.Fatal("idle site became active")
+				}
+			}
+		})
+		b.Run("dispatch/"+arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ctx := weave.GetContext()
+				ctx.Kind = aop.MethodEntry
+				ctx.Sig = hot.Sig
+				if err := hot.Dispatch(ctx); err != nil {
+					b.Fatal(err)
+				}
+				weave.PutContext(ctx)
+			}
+		})
+	}
+}
