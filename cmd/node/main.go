@@ -7,6 +7,11 @@
 // Usage:
 //
 //	node -name plotter-1 -addr 127.0.0.1:0 -lookup 127.0.0.1:7000 -trustkey base.pub
+//
+// Pass -faults (with an optional -seed) to inject reproducible loss, latency
+// and duplication into the node's outbound calls, e.g.
+//
+//	node ... -faults loss=0.1,dup=0.05,latmax=50ms -seed 42
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/sandbox"
 	"repro/internal/sign"
+	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/svc"
 	"repro/internal/transport"
@@ -50,6 +56,8 @@ func run() error {
 		trustKey = flag.String("trustkey", "", "file with a trusted signer public key (hex)")
 		kvPath   = flag.String("kv", "", "node KV journal for persistence extensions (empty = in-memory)")
 		httpAddr = flag.String("http", "127.0.0.1:8101", "metrics/health HTTP address (empty disables)")
+		faults   = flag.String("faults", "", "inject outbound faults, e.g. loss=0.1,dup=0.05,latmax=50ms (empty disables)")
+		seed     = flag.Int64("seed", 1, "fault-injection RNG seed (used with -faults)")
 	)
 	flag.Parse()
 
@@ -89,8 +97,19 @@ func run() error {
 		kv = store.NewKV()
 	}
 
-	caller := transport.NewTCPCaller()
-	defer caller.Close()
+	tcp := transport.NewTCPCaller()
+	defer tcp.Close()
+	var caller transport.Caller = tcp
+	var chaos *simnet.Chaos
+	if *faults != "" {
+		prof, err := simnet.ParseFaults(*faults)
+		if err != nil {
+			return err
+		}
+		chaos = simnet.NewChaos(tcp, *seed, prof)
+		caller = chaos
+		log.Printf("chaos: injecting %s on outbound calls (seed %d)", *faults, *seed)
+	}
 	builtins := core.NewBuiltins()
 	ext.RegisterAll(builtins)
 	host := ext.NewNodeHost(ext.NodeHostConfig{
@@ -123,7 +142,10 @@ func run() error {
 	}
 	reg := metrics.New()
 	weaver.Instrument(reg)
-	caller.Instrument(reg)
+	tcp.Instrument(reg)
+	if chaos != nil {
+		chaos.Instrument(reg)
+	}
 	srv.Instrument(reg)
 	receiver.Instrument(reg)
 

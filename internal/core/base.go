@@ -63,8 +63,13 @@ type BaseConfig struct {
 	LeaseDur      time.Duration
 	RenewFraction float64
 	RenewRetries  int
-	// CallTimeout bounds each RPC (default 2s).
+	// CallTimeout bounds each RPC (default 2s). With a Policy set it bounds
+	// the whole retried call, so it should cover the policy's backoff budget.
 	CallTimeout time.Duration
+	// Policy, when set, routes every outgoing RPC (pushes, renewals, revokes,
+	// roaming hints) through retry-with-backoff. Retried installs/revokes are
+	// safe: the receiver wire surface is idempotent.
+	Policy *transport.Policy
 }
 
 // BaseActivity is one entry of the base's distribution log (§3.2: each base
@@ -87,7 +92,8 @@ type adaptedNode struct {
 // environment, adapts arriving nodes, keeps the distributed extensions alive
 // and notices departures through failing renewals.
 type Base struct {
-	cfg BaseConfig
+	cfg    BaseConfig
+	caller transport.Caller // cfg.Caller, wrapped by cfg.Policy when set
 
 	mu         sync.Mutex
 	extensions []Extension
@@ -155,6 +161,7 @@ func NewBase(cfg BaseConfig) (*Base, error) {
 	}
 	return &Base{
 		cfg:     cfg,
+		caller:  cfg.Policy.Wrap(cfg.Caller), // nil Policy leaves the caller bare
 		adapted: make(map[string]*adaptedNode),
 	}, nil
 }
@@ -259,7 +266,7 @@ func (b *Base) RemoveExtension(name string) error {
 	for _, n := range nodes {
 		b.stopRenewer(n.addr, name)
 		ctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
-		_, err := transport.Invoke[RevokeReq, EmptyResp](ctx, b.cfg.Caller, n.addr, MethodRevoke, RevokeReq{Name: name})
+		_, err := transport.Invoke[RevokeReq, EmptyResp](ctx, b.caller, n.addr, MethodRevoke, RevokeReq{Name: name})
 		cancel()
 		detail := ""
 		if err != nil {
@@ -374,7 +381,7 @@ func (b *Base) pushExtension(n *adaptedNode, ext Extension) error {
 		return err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
-	resp, err := transport.Invoke[InstallReq, InstallResp](ctx, b.cfg.Caller, n.addr, MethodInstall, InstallReq{
+	resp, err := transport.Invoke[InstallReq, InstallResp](ctx, b.caller, n.addr, MethodInstall, InstallReq{
 		Signed:    signed,
 		BaseAddr:  b.cfg.Addr,
 		DurMillis: b.cfg.LeaseDur.Milliseconds(),
@@ -391,14 +398,20 @@ func (b *Base) pushExtension(n *adaptedNode, ext Extension) error {
 		func(id lease.ID, d time.Duration) (lease.Lease, error) {
 			rctx, rcancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
 			defer rcancel()
-			_, err := transport.Invoke[RenewExtReq, EmptyResp](rctx, b.cfg.Caller, n.addr, MethodRenewE, RenewExtReq{
+			resp, err := transport.Invoke[RenewExtReq, RenewExtResp](rctx, b.caller, n.addr, MethodRenewE, RenewExtReq{
 				LeaseID:   string(id),
 				DurMillis: d.Milliseconds(),
 			})
 			if err != nil {
 				return lease.Lease{}, err
 			}
-			return lease.Lease{ID: id, Duration: d}, nil
+			// Adopt the receiver's actually granted duration, which may be
+			// shorter than requested.
+			granted := time.Duration(resp.DurMillis) * time.Millisecond
+			if granted <= 0 {
+				granted = d
+			}
+			return lease.Lease{ID: id, Duration: granted}, nil
 		},
 		b.cfg.RenewFraction,
 		func(error) {
@@ -445,7 +458,7 @@ func (b *Base) nodeDeparted(nodeAddr string) {
 	// their area.
 	for _, nb := range neighbors {
 		ctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
-		_, err := transport.Invoke[RoamReq, EmptyResp](ctx, b.cfg.Caller, nb, MethodBaseRoam,
+		_, err := transport.Invoke[RoamReq, EmptyResp](ctx, b.caller, nb, MethodBaseRoam,
 			RoamReq{NodeID: n.id, NodeAddr: n.addr})
 		cancel()
 		detail := nb

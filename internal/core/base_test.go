@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/aop"
 	"repro/internal/clock"
 	"repro/internal/lvm"
+	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/registry"
 	"repro/internal/sandbox"
@@ -397,5 +399,84 @@ func TestLossyLinkSurvivesWithRetries(t *testing.T) {
 	}
 	if !run(3) {
 		t.Error("adaptation lost despite 3 renewal retries")
+	}
+}
+
+// A node that is transiently unreachable while the base pushes its policy set
+// still converges: the retry policy re-sends the install once the link heals,
+// and the receiver's idempotent surface absorbs any duplicate delivery.
+func TestAdaptNodeRetriesThroughTransientPartition(t *testing.T) {
+	fabric := transport.NewInProc()
+	var down atomic.Bool
+	fabric.SetLinkFunc(func(from, to string) bool {
+		return !down.Load() || from != "base-1" || to != "robot1"
+	})
+
+	signer, err := sign.NewSigner("hall-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := sign.NewTrustStore()
+	trust.Trust("hall-1", signer.PublicKey())
+	builtins := NewBuiltins()
+	builtins.Register("noop", func(*Env, map[string]string) (aop.Body, error) {
+		return aop.BodyFunc(func(*aop.Context) error { return nil }), nil
+	})
+	recv, err := NewReceiver(ReceiverConfig{
+		NodeName: "robot1",
+		Addr:     "robot1",
+		Weaver:   weave.New(),
+		Trust:    trust,
+		Policy:   sandbox.AllowAll(),
+		Host:     lvm.HostMap{},
+		Builtins: builtins,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvMux := transport.NewMux()
+	recv.ServeOn(recvMux)
+	stop, err := fabric.Serve("robot1", recvMux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	pol := transport.NewPolicy(7)
+	pol.MaxAttempts = 20
+	pol.BaseDelay = 10 * time.Millisecond
+	pol.MaxDelay = 20 * time.Millisecond
+	reg := metrics.New()
+	pol.Instrument(reg)
+	base, err := NewBase(BaseConfig{
+		Name:        "base-1",
+		Addr:        "base-1",
+		Caller:      fabric.Node("base-1"),
+		Signer:      signer,
+		CallTimeout: 5 * time.Second,
+		Policy:      pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	if err := base.AddExtension(noopExt("policy", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	down.Store(true)
+	adapted := make(chan error, 1)
+	go func() { adapted <- base.AdaptNode("robot1", "robot1") }()
+	time.Sleep(30 * time.Millisecond) // let a few attempts fail
+	down.Store(false)
+
+	if err := <-adapted; err != nil {
+		t.Fatalf("AdaptNode through transient partition: %v", err)
+	}
+	if !recv.Has("policy") {
+		t.Fatal("extension not installed after link healed")
+	}
+	if got := reg.Snapshot().Counters["transport.retries"]; got == 0 {
+		t.Fatal("partition never forced a retry")
 	}
 }

@@ -205,13 +205,29 @@ func TestRenewKeepsAlive(t *testing.T) {
 func TestReplaceRequiresHigherVersion(t *testing.T) {
 	n := newTestNode(t)
 	signed, _ := Sign(n.signer, builtinExt("monitor", 2))
-	if _, err := n.receiver.Install(signed, "base-1", time.Minute); err != nil {
+	id, err := n.receiver.Install(signed, "base-1", time.Minute)
+	if err != nil {
 		t.Fatal(err)
 	}
-	// Same version again fails.
+	// Same version from the same base is an idempotent re-push (a retry
+	// whose first response was lost): it refreshes the lease and returns
+	// the original handle.
 	signed2, _ := Sign(n.signer, builtinExt("monitor", 2))
-	if _, err := n.receiver.Install(signed2, "base-1", time.Minute); err == nil {
-		t.Fatal("same version should fail")
+	id2, err := n.receiver.Install(signed2, "base-1", time.Minute)
+	if err != nil {
+		t.Fatalf("idempotent re-push: %v", err)
+	}
+	if id2 != id {
+		t.Fatalf("re-push returned lease %q, want original %q", id2, id)
+	}
+	// Same version from a different base is a conflict.
+	if _, err := n.receiver.Install(signed2, "base-2", time.Minute); err == nil {
+		t.Fatal("same version from another base should fail")
+	}
+	// A lower version is a stale duplicate.
+	signed1, _ := Sign(n.signer, builtinExt("monitor", 1))
+	if _, err := n.receiver.Install(signed1, "base-1", time.Minute); err == nil {
+		t.Fatal("stale lower version should fail")
 	}
 	// Higher version replaces.
 	signed3, _ := Sign(n.signer, builtinExt("monitor", 3))

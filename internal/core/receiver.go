@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,6 +23,11 @@ import (
 // AdaptationService is the registry service type receivers advertise under.
 const AdaptationService = "midas.adaptation"
 
+// ErrNotInstalled reports an operation on an extension that is not installed.
+// The wire revoke handler treats it as already-done so a base retrying a
+// revocation whose response was lost stays idempotent.
+var ErrNotInstalled = errors.New("not installed")
+
 // ReceiverConfig assembles the dependencies of an adaptation service.
 type ReceiverConfig struct {
 	NodeName string
@@ -40,7 +46,7 @@ type ReceiverConfig struct {
 // Activity is one entry of the receiver's adaptation log.
 type Activity struct {
 	AtMillis int64
-	Event    string // "install", "replace", "withdraw", "expire", "reject"
+	Event    string // "install", "replace", "refresh", "withdraw", "expire", "reject"
 	Ext      string
 	Base     string
 	Detail   string
@@ -84,6 +90,7 @@ type Receiver struct {
 type receiverMetrics struct {
 	installs    *metrics.Counter
 	replaces    *metrics.Counter
+	refreshes   *metrics.Counter
 	withdrawals *metrics.Counter
 	expiries    *metrics.Counter
 	rejects     *metrics.Counter
@@ -105,6 +112,7 @@ func (r *Receiver) Instrument(reg *metrics.Registry) {
 	r.m = receiverMetrics{
 		installs:    reg.Counter("ext.installs"),
 		replaces:    reg.Counter("ext.replaces"),
+		refreshes:   reg.Counter("ext.refreshes"),
 		withdrawals: reg.Counter("ext.withdrawals"),
 		expiries:    reg.Counter("ext.expiries"),
 		rejects:     reg.Counter("ext.rejects"),
@@ -190,6 +198,25 @@ func (r *Receiver) installImplicit(name, baseAddr string) error {
 }
 
 func (r *Receiver) install(ext Extension, signer, baseAddr string, dur time.Duration, system bool) (lease.ID, error) {
+	// Idempotent re-push: a base retrying an install whose response was lost
+	// on the wire re-sends the same version. Refresh the existing lease and
+	// return the original handle instead of failing — and do it before any
+	// advice bodies are built so a refresh allocates nothing.
+	r.mu.Lock()
+	var refreshID lease.ID
+	if old, ok := r.installed[ext.Name]; ok && !system && !old.system &&
+		ext.Version == old.ext.Version && old.baseAddr == baseAddr && old.leaseID != "" {
+		refreshID = old.leaseID
+	}
+	r.mu.Unlock()
+	if refreshID != "" {
+		if _, err := r.grantor.Renew(refreshID, dur); err == nil {
+			r.log("refresh", ext.Name, baseAddr, fmt.Sprintf("version %d", ext.Version))
+			return refreshID, nil
+		}
+		// The lease lapsed under us; fall through to the ordinary path.
+	}
+
 	perms, err := r.cfg.Policy.Grant(signer, ext.Capabilities())
 	if err != nil {
 		return "", err
@@ -298,7 +325,7 @@ func (r *Receiver) remove(name, event string) error {
 	ie, ok := r.installed[name]
 	if !ok {
 		r.mu.Unlock()
-		return fmt.Errorf("core: extension %q not installed", name)
+		return fmt.Errorf("core: extension %q %w", name, ErrNotInstalled)
 	}
 	delete(r.installed, name)
 	requires := ie.ext.Requires
@@ -381,6 +408,8 @@ func (r *Receiver) log(event, ext, base, detail string) {
 		r.m.installs.Inc()
 	case "replace":
 		r.m.replaces.Inc()
+	case "refresh":
+		r.m.refreshes.Inc()
 	case "withdraw":
 		r.m.withdrawals.Inc()
 	case "expire":
@@ -458,6 +487,12 @@ type (
 		LeaseID   string
 		DurMillis int64
 	}
+	// RenewExtResp reports the actually granted duration, which a receiver
+	// may shorten; the base's renewer adopts it so renewals keep fitting
+	// inside the lease.
+	RenewExtResp struct {
+		DurMillis int64
+	}
 	// RevokeReq withdraws an extension by name.
 	RevokeReq struct {
 		Name string
@@ -483,11 +518,20 @@ func (r *Receiver) ServeOn(mux *transport.Mux) {
 		}
 		return InstallResp{LeaseID: string(id)}, nil
 	})
-	transport.Register(mux, MethodRenewE, func(_ context.Context, req RenewExtReq) (EmptyResp, error) {
-		return EmptyResp{}, r.Renew(lease.ID(req.LeaseID), time.Duration(req.DurMillis)*time.Millisecond)
+	transport.Register(mux, MethodRenewE, func(_ context.Context, req RenewExtReq) (RenewExtResp, error) {
+		l, err := r.grantor.Renew(lease.ID(req.LeaseID), time.Duration(req.DurMillis)*time.Millisecond)
+		if err != nil {
+			return RenewExtResp{}, err
+		}
+		return RenewExtResp{DurMillis: l.Duration.Milliseconds()}, nil
 	})
 	transport.Register(mux, MethodRevoke, func(_ context.Context, req RevokeReq) (EmptyResp, error) {
-		return EmptyResp{}, r.Withdraw(req.Name)
+		// A revoke of something already gone is a success: the base may be
+		// retrying a revocation whose response was lost.
+		if err := r.Withdraw(req.Name); err != nil && !errors.Is(err, ErrNotInstalled) {
+			return EmptyResp{}, err
+		}
+		return EmptyResp{}, nil
 	})
 	transport.Register(mux, MethodList, func(_ context.Context, _ EmptyResp) (ListResp, error) {
 		return ListResp{Extensions: r.Installed()}, nil

@@ -6,13 +6,16 @@ package discovery
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/metrics"
+	"repro/internal/transport"
 )
 
 // Announcement advertises a lookup service.
@@ -112,22 +115,57 @@ type Announcer struct {
 
 // StartAnnouncer announces a on bus every interval until Stop.
 func StartAnnouncer(bus *Bus, a Announcement, interval time.Duration) *Announcer {
+	return StartFuncAnnouncer(func(context.Context) error {
+		bus.Announce(a)
+		return nil
+	}, interval, nil, nil)
+}
+
+// StartFuncAnnouncer runs announce immediately and then every interval until
+// Stop, timed by clk (default the real clock). A non-nil pol retries each
+// failed announcement with backoff — note pol's RetryIf decides what is worth
+// retrying; announce carriers whose errors are not transport-level should set
+// it. The context passed to announce is canceled on Stop, so an in-flight
+// attempt or backoff wait aborts promptly.
+func StartFuncAnnouncer(announce func(context.Context) error, interval time.Duration, pol *transport.Policy, clk clock.Clock) *Announcer {
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	an := &Announcer{stop: make(chan struct{}), done: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-an.stop
+		cancel()
+	}()
+	once := func() {
+		if pol != nil {
+			_ = pol.Do(ctx, announce)
+			return
+		}
+		_ = announce(ctx)
+	}
 	go func() {
 		defer close(an.done)
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		bus.Announce(a)
+		once()
 		for {
 			select {
 			case <-an.stop:
 				return
-			case <-ticker.C:
-				bus.Announce(a)
+			case <-clk.After(interval):
+				once()
 			}
 		}
 	}()
 	return an
+}
+
+// StartUDPAnnouncer beacons a to target every interval until Stop, retrying
+// failed sends per pol (which should carry a RetryIf suited to UDP send
+// errors).
+func StartUDPAnnouncer(target string, a Announcement, interval time.Duration, pol *transport.Policy) *Announcer {
+	return StartFuncAnnouncer(func(context.Context) error {
+		return AnnounceUDP(target, a)
+	}, interval, pol, nil)
 }
 
 // Stop halts the announcer and waits for it to exit.

@@ -33,6 +33,10 @@ var (
 	ErrExpired      = errors.New("lease: lease expired")
 )
 
+// errStopped marks a renewal abandoned because the renewer was stopped
+// mid-retry; it must not be reported as a renewal failure.
+var errStopped = errors.New("lease: renewer stopped")
+
 type grant struct {
 	lease    Lease
 	onExpire func(ID)
@@ -303,6 +307,11 @@ func (r *Renewer) Start() {
 			}
 			l, err := r.renewWithRetry()
 			if err != nil {
+				if errors.Is(err, errStopped) {
+					// Stop() raced an in-flight retry: a deliberate halt,
+					// not a departure — never report failure.
+					return
+				}
 				r.m.failures.Inc()
 				if r.onFail != nil {
 					r.onFail(err)
@@ -329,7 +338,7 @@ func (r *Renewer) renewWithRetry() (Lease, error) {
 	for attempt := 0; attempt < r.retries; attempt++ {
 		select {
 		case <-r.stop:
-			return Lease{}, err
+			return Lease{}, errStopped
 		case <-r.clk.After(gap):
 		}
 		r.m.retries.Inc()

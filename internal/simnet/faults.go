@@ -1,0 +1,155 @@
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// ParseFaults parses a comma-separated fault spec into a LinkProfile, e.g.
+//
+//	loss=0.1,dup=0.05,reorder=0.02,latmin=5ms,latmax=50ms
+//
+// Keys: loss, dup, reorder (probabilities in [0,1]); latmin, latmax,
+// dupdelay, reorderdelay (Go durations). Unknown keys are errors so typos in
+// a -faults flag fail loudly instead of silently running fault-free.
+func ParseFaults(spec string) (LinkProfile, error) {
+	var p LinkProfile
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return p, fmt.Errorf("simnet: fault spec %q: want key=value", kv)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "loss", "dup", "reorder":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return p, fmt.Errorf("simnet: fault %s=%q: want probability in [0,1]", key, val)
+			}
+			switch key {
+			case "loss":
+				p.Loss = f
+			case "dup":
+				p.Dup = f
+			case "reorder":
+				p.Reorder = f
+			}
+		case "latmin", "latmax", "dupdelay", "reorderdelay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return p, fmt.Errorf("simnet: fault %s=%q: want non-negative duration", key, val)
+			}
+			switch key {
+			case "latmin":
+				p.LatencyMin = d
+			case "latmax":
+				p.LatencyMax = d
+			case "dupdelay":
+				p.DupDelay = d
+			case "reorderdelay":
+				p.ReorderDelay = d
+			}
+		default:
+			return p, fmt.Errorf("simnet: unknown fault key %q", key)
+		}
+	}
+	if p.LatencyMax < p.LatencyMin {
+		p.LatencyMax = p.LatencyMin
+	}
+	return p, nil
+}
+
+// Chaos wraps a real transport.Caller with seeded fault injection — loss,
+// latency, duplication, reordering — for manual chaos runs against live
+// fabrics (cmd/node -faults). Unlike Net it sits caller-side only: a dropped
+// message surfaces as ErrUnreachable without touching the wire, a duplicated
+// one is sent twice.
+type Chaos struct {
+	inner transport.Caller
+	prof  LinkProfile
+	clk   clock.Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	m netMetrics
+}
+
+// NewChaos returns a chaos wrapper around inner drawing faults from seed.
+func NewChaos(inner transport.Caller, seed int64, prof LinkProfile) *Chaos {
+	return &Chaos{
+		inner: inner,
+		prof:  prof,
+		clk:   clock.Real{},
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Instrument records injected faults in reg under the simnet.* names. A nil
+// reg is a no-op.
+func (c *Chaos) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = newNetMetrics(reg)
+}
+
+// Call implements transport.Caller.
+func (c *Chaos) Call(ctx context.Context, to, method string, req, resp any) error {
+	c.mu.Lock()
+	c.m.calls.Inc()
+	p := c.prof
+	lost := c.rng.Float64() < p.Loss
+	dup := c.rng.Float64() < p.Dup
+	reordered := c.rng.Float64() < p.Reorder
+	u := c.rng.Float64()
+	c.mu.Unlock()
+
+	latency := p.LatencyMin
+	if p.LatencyMax > p.LatencyMin {
+		latency += time.Duration(u * float64(p.LatencyMax-p.LatencyMin))
+	}
+	if reordered {
+		c.m.reorders.Inc()
+		extra := p.ReorderDelay
+		if extra <= 0 {
+			extra = p.LatencyMax
+		}
+		latency += extra
+	}
+	if lost {
+		c.m.losses.Inc()
+		return fmt.Errorf("%w: %s (chaos: message lost)", transport.ErrUnreachable, to)
+	}
+	if latency > 0 {
+		select {
+		case <-c.clk.After(latency):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	err := c.inner.Call(ctx, to, method, req, resp)
+	c.m.delivered.Inc()
+	if dup && err == nil {
+		// Retransmit: the duplicate's response is discarded.
+		c.m.dups.Inc()
+		_ = c.inner.Call(ctx, to, method, req, nil)
+	}
+	return err
+}

@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+)
+
+// Policy is a retry/timeout/backoff policy for RPC calls over lossy mobile
+// links: capped exponential backoff with jitter drawn from a seeded RNG (so
+// simulated runs are reproducible), an optional per-attempt deadline, and an
+// idempotency-aware retry predicate.
+//
+// Retries are only safe because the platform's wire surface tolerates
+// re-delivery: installs of the same extension version refresh the existing
+// lease, renewals of a live lease are absolute (expiry := now+d), and revokes
+// of an already-withdrawn extension succeed. RetryTransient therefore retries
+// only transport-level failures (unreachable, timeout) where the request may
+// or may not have executed, and never application errors reported by the
+// remote handler, which are deterministic and would just repeat.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; zero retries
+	// immediately (NewPolicy tunes it to 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between retries (default 2).
+	Multiplier float64
+	// Jitter spreads each backoff by ±Jitter fraction, drawn from the seeded
+	// RNG (NewPolicy tunes it to 0.2). Zero jitter is valid; out-of-range
+	// values reset to 0.2.
+	Jitter float64
+	// AttemptTimeout bounds each individual attempt (0 = only the caller's
+	// context bounds the attempt).
+	AttemptTimeout time.Duration
+	// Clock times the backoff waits (default the real clock). Point it at a
+	// manual clock to drive retries deterministically in simulation.
+	Clock clock.Clock
+	// RetryIf decides whether an error is worth retrying (default
+	// RetryTransient).
+	RetryIf func(error) bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	m policyMetrics
+}
+
+// policyMetrics counts retry traffic; nil-safe no-ops until Instrument.
+type policyMetrics struct {
+	retries   *metrics.Counter
+	giveups   *metrics.Counter
+	successes *metrics.Counter
+}
+
+// NewPolicy returns a Policy with default tuning and jitter drawn from a RNG
+// seeded with seed, so two runs with the same seed back off identically.
+func NewPolicy(seed int64) *Policy {
+	return &Policy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Instrument records retries, give-ups (retryable errors that exhausted the
+// attempt budget) and retried calls that eventually succeeded in reg. A nil
+// reg is a no-op.
+func (p *Policy) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m = policyMetrics{
+		retries:   reg.Counter("transport.retries"),
+		giveups:   reg.Counter("transport.retry_giveups"),
+		successes: reg.Counter("transport.retry_successes"),
+	}
+}
+
+// RetryTransient reports whether err is a transport-level failure worth
+// retrying: no route to the destination, a timed-out attempt, or a network
+// timeout. Remote application errors are not retried.
+func RetryTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	var ne net.Error
+	return errors.Is(err, ErrUnreachable) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		(errors.As(err, &ne) && ne.Timeout())
+}
+
+// Do runs op, retrying per the policy until it succeeds, the error is not
+// retryable, ctx is done, or the attempt budget is exhausted. The last
+// attempt's error is returned.
+func (p *Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	base := p.BaseDelay
+	if base < 0 {
+		base = 0
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	jitter := p.Jitter
+	if jitter < 0 || jitter > 1 {
+		jitter = 0.2
+	}
+	clk := p.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	retryIf := p.RetryIf
+	if retryIf == nil {
+		retryIf = RetryTransient
+	}
+
+	delay := base
+	for attempt := 1; ; attempt++ {
+		err := p.attempt(ctx, op)
+		if err == nil {
+			if attempt > 1 {
+				p.m.successes.Inc()
+			}
+			return nil
+		}
+		if !retryIf(err) || ctx.Err() != nil {
+			return err
+		}
+		if attempt >= attempts {
+			p.m.giveups.Inc()
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-clk.After(p.jittered(delay, jitter)):
+		}
+		p.m.retries.Inc()
+		delay = time.Duration(float64(delay) * mult)
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+func (p *Policy) attempt(ctx context.Context, op func(ctx context.Context) error) error {
+	if p.AttemptTimeout > 0 {
+		actx, cancel := context.WithTimeout(ctx, p.AttemptTimeout)
+		defer cancel()
+		return op(actx)
+	}
+	return op(ctx)
+}
+
+// jittered spreads d by ±frac using the seeded RNG. The RNG is consumed even
+// for zero delays so the draw sequence — and with it a simulated run — stays
+// reproducible regardless of tuning.
+func (p *Policy) jittered(d time.Duration, frac float64) time.Duration {
+	p.mu.Lock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(1))
+	}
+	u := p.rng.Float64()
+	p.mu.Unlock()
+	if d <= 0 || frac <= 0 {
+		return d
+	}
+	scaled := float64(d) * (1 + frac*(2*u-1))
+	if scaled < 0 {
+		scaled = 0
+	}
+	return time.Duration(scaled)
+}
+
+// Wrap returns a Caller that routes every Call through the policy. A nil
+// policy returns c unchanged, so callers can thread an optional policy
+// unconditionally.
+func (p *Policy) Wrap(c Caller) Caller {
+	if p == nil {
+		return c
+	}
+	return &retryCaller{pol: p, inner: c}
+}
+
+type retryCaller struct {
+	pol   *Policy
+	inner Caller
+}
+
+// Call implements Caller.
+func (r *retryCaller) Call(ctx context.Context, to, method string, req, resp any) error {
+	return r.pol.Do(ctx, func(ctx context.Context) error {
+		return r.inner.Call(ctx, to, method, req, resp)
+	})
+}

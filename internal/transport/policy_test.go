@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+)
+
+// failNCaller fails the first n calls with a transient error, then succeeds.
+type failNCaller struct {
+	n     int
+	calls int
+}
+
+func (c *failNCaller) Call(ctx context.Context, to, method string, req, resp any) error {
+	c.calls++
+	if c.calls <= c.n {
+		return fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	return nil
+}
+
+func testPolicy(seed int64, clk clock.Clock) *Policy {
+	p := NewPolicy(seed)
+	p.BaseDelay = 0 // no backoff wait: keeps manual-clock tests synchronous
+	p.Clock = clk
+	return p
+}
+
+func TestPolicyRetriesTransientThenSucceeds(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	reg := metrics.New()
+	pol := testPolicy(1, clk)
+	pol.MaxAttempts = 5
+	pol.Instrument(reg)
+
+	inner := &failNCaller{n: 3}
+	if err := pol.Wrap(inner).Call(context.Background(), "x", "m", nil, nil); err != nil {
+		t.Fatalf("wrapped call failed: %v", err)
+	}
+	if inner.calls != 4 {
+		t.Fatalf("calls = %d, want 4 (3 failures + success)", inner.calls)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["transport.retries"]; got != 3 {
+		t.Fatalf("transport.retries = %d, want 3", got)
+	}
+	if got := snap.Counters["transport.retry_successes"]; got != 1 {
+		t.Fatalf("transport.retry_successes = %d, want 1", got)
+	}
+	if got := snap.Counters["transport.retry_giveups"]; got != 0 {
+		t.Fatalf("transport.retry_giveups = %d, want 0", got)
+	}
+}
+
+func TestPolicyGivesUpAfterMaxAttempts(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	reg := metrics.New()
+	pol := testPolicy(1, clk)
+	pol.MaxAttempts = 3
+	pol.Instrument(reg)
+
+	inner := &failNCaller{n: 100}
+	err := pol.Wrap(inner).Call(context.Background(), "x", "m", nil, nil)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("calls = %d, want 3", inner.calls)
+	}
+	if got := reg.Snapshot().Counters["transport.retry_giveups"]; got != 1 {
+		t.Fatalf("transport.retry_giveups = %d, want 1", got)
+	}
+}
+
+func TestPolicyDoesNotRetryRemoteErrors(t *testing.T) {
+	pol := testPolicy(1, clock.NewManual(time.Unix(0, 0)))
+	calls := 0
+	err := pol.Do(context.Background(), func(context.Context) error {
+		calls++
+		return &RemoteError{Method: "m", Msg: "boom"}
+	})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (remote errors are deterministic)", calls)
+	}
+}
+
+func TestPolicyStopsWhenContextDone(t *testing.T) {
+	pol := testPolicy(1, clock.NewManual(time.Unix(0, 0)))
+	pol.MaxAttempts = 10
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := pol.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return ErrUnreachable
+	})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want the op's error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries after cancel)", calls)
+	}
+}
+
+func TestPolicyBacksOffOnFakeClock(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	pol := NewPolicy(7)
+	pol.Clock = clk
+	pol.Jitter = 0 // exact delays
+	pol.BaseDelay = 100 * time.Millisecond
+	pol.Multiplier = 2
+	pol.MaxDelay = 300 * time.Millisecond
+	pol.MaxAttempts = 4
+
+	var stamps []time.Duration
+	done := make(chan error, 1)
+	go func() {
+		done <- pol.Do(context.Background(), func(context.Context) error {
+			stamps = append(stamps, clk.Now().Sub(time.Unix(0, 0)))
+			return ErrUnreachable
+		})
+	}()
+
+	// Attempts land at 0, 100ms, 300ms (100+200), 600ms (cap 300).
+	for i := 0; i < 3; i++ {
+		waitTimers(t, clk, 1)
+		clk.Advance(300 * time.Millisecond)
+	}
+	if err := <-done; !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	want := []time.Duration{0, 300 * time.Millisecond, 600 * time.Millisecond, 900 * time.Millisecond}
+	// With 300ms advances the exact delays (100, 200, 300) are each rounded
+	// up to the next advance, so attempts land on the advance boundaries.
+	if len(stamps) != len(want) {
+		t.Fatalf("attempts = %d, want %d (at %v)", len(stamps), len(want), stamps)
+	}
+}
+
+// waitTimers blocks until the manual clock has at least n pending timers.
+func waitTimers(t *testing.T, clk *clock.Manual, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.PendingTimers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %d pending timers", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPolicyAttemptTimeout(t *testing.T) {
+	pol := NewPolicy(1)
+	pol.BaseDelay = 0
+	pol.MaxAttempts = 2
+	pol.AttemptTimeout = 10 * time.Millisecond
+	calls := 0
+	err := pol.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		<-ctx.Done() // each attempt gets its own deadline
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (per-attempt timeouts are retryable)", calls)
+	}
+}
+
+func TestPolicyJitterDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		p := NewPolicy(seed)
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			out = append(out, p.jittered(100*time.Millisecond, 0.2))
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v != %v for same seed", i, a[i], b[i])
+		}
+		if a[i] < 80*time.Millisecond || a[i] > 120*time.Millisecond {
+			t.Fatalf("draw %d = %v outside ±20%% band", i, a[i])
+		}
+	}
+}

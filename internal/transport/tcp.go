@@ -207,8 +207,11 @@ func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) 
 	if err != nil {
 		return err
 	}
-	cc, err := c.conn(to)
+	cc, err := c.conn(ctx, to)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("transport: dial %s: %w", to, ctxErr)
+		}
 		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
 	cc.mu.Lock()
@@ -218,6 +221,16 @@ func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) 
 	} else {
 		_ = cc.conn.SetDeadline(time.Time{})
 	}
+	// A deadline alone does not observe cancellation: watch ctx and abort the
+	// in-flight round trip by forcing a deadline in the past.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = cc.conn.SetDeadline(time.Unix(1, 0))
+		case <-watchDone:
+		}
+	}()
 	fm := c.m.Load()
 	callErr := func() error {
 		if err := cc.enc.Encode(&tcpRequest{Method: method, Body: body}); err != nil {
@@ -241,7 +254,21 @@ func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) 
 		}
 		return Decode(out.Body, resp)
 	}()
+	close(watchDone)
 	if callErr != nil {
+		ctxErr := ctx.Err()
+		if ctxErr == nil {
+			// The conn deadline equals the ctx deadline and its poller can
+			// fire a moment before the ctx timer: map that to expiry too.
+			if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+				ctxErr = context.DeadlineExceeded
+			}
+		}
+		if ctxErr != nil {
+			// Surface cancellation/expiry as the context error, not the I/O
+			// error the forced deadline produced.
+			callErr = fmt.Errorf("transport: call %s %s: %w", to, method, ctxErr)
+		}
 		if _, isRemote := callErr.(*RemoteError); !isRemote {
 			// Connection-level failure: drop the pooled connection.
 			c.drop(to, cc)
@@ -260,13 +287,17 @@ func (c *TCPCaller) Close() {
 	c.conns = make(map[string]*tcpClientConn)
 }
 
-func (c *TCPCaller) conn(to string) (*tcpClientConn, error) {
+func (c *TCPCaller) conn(ctx context.Context, to string) (*tcpClientConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cc, ok := c.conns[to]; ok {
 		return cc, nil
 	}
-	conn, err := net.DialTimeout("tcp", to, c.DialTimeout)
+	// DialContext caps the dial at DialTimeout but also honors the caller's
+	// ctx, so a tight deadline or cancellation cuts the dial short instead of
+	// always waiting out the full timeout.
+	d := net.Dialer{Timeout: c.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", to)
 	if err != nil {
 		return nil, err
 	}
