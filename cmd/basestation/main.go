@@ -31,6 +31,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/sign"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -56,10 +57,13 @@ func run() error {
 		keyFile   = flag.String("keyfile", "", "write the signing public key (hex) to this file")
 		leaseDur  = flag.Duration("lease", 10*time.Second, "extension lease duration")
 		httpAddr  = flag.String("http", "127.0.0.1:8001", "metrics/health HTTP address (empty disables)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
 		exts      extFlags
 	)
 	flag.Var(&exts, "ext", "extension preset, repeatable: hwmonitor | logger | accesscontrol:allow=a,b")
 	flag.Parse()
+
+	tracer := trace.New(time.Now().UnixNano())
 
 	signer, err := sign.NewSigner(*name)
 	if err != nil {
@@ -105,7 +109,9 @@ func run() error {
 	}
 	defer base.Close()
 	base.OnDepart(func(node string) { log.Printf("node departed: %s", node) })
+	base.Trace(tracer)
 	base.ServeOn(mux)
+	lookup.Grantor().Trace(tracer)
 
 	reg := metrics.New()
 	lookup.Instrument(reg)
@@ -113,6 +119,9 @@ func run() error {
 	base.Instrument(reg)
 	transport.Register(mux, core.MethodMetrics, func(_ context.Context, _ core.EmptyResp) (core.MetricsResp, error) {
 		return core.MetricsResp{Snap: reg.Snapshot()}, nil
+	})
+	transport.Register(mux, core.MethodTrace, func(_ context.Context, req core.TraceReq) (core.TraceResp, error) {
+		return core.CollectTrace(tracer, req), nil
 	})
 
 	for i, spec := range exts {
@@ -126,7 +135,7 @@ func run() error {
 		log.Printf("extension in policy set: %s", e.Name)
 	}
 
-	srv, err := transport.ServeTCP(*addr, mux)
+	srv, err := transport.ServeTCP(*addr, transport.TraceHandling(mux, tracer, *name))
 	if err != nil {
 		return err
 	}
@@ -143,12 +152,22 @@ func run() error {
 			}
 			return conn.Close()
 		})
-		maddr, stopHTTP, err := metrics.ServeHTTP(*httpAddr, reg, health)
+		mounts := []metrics.Mount{
+			{Pattern: "/trace", Handler: trace.Handler(tracer)},
+			{Pattern: "/events", Handler: trace.EventsHandler(tracer)},
+		}
+		if *pprofOn {
+			mounts = append(mounts, metrics.PprofMounts()...)
+		}
+		maddr, stopHTTP, err := metrics.ServeHTTP(*httpAddr, reg, health, mounts...)
 		if err != nil {
 			return err
 		}
 		defer stopHTTP()
-		log.Printf("metrics on http://%s/metrics, health on http://%s/healthz", maddr, maddr)
+		log.Printf("metrics on http://%s/metrics, traces on http://%s/trace", maddr, maddr)
+		if *pprofOn {
+			log.Printf("pprof on http://%s/debug/pprof/", maddr)
+		}
 	}
 
 	if _, err := base.WatchLookup(&registry.Client{Caller: caller, Addr: srv.Addr()}, 24*time.Hour); err != nil {

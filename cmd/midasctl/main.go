@@ -7,6 +7,7 @@
 //	midasctl -node 127.0.0.1:7101 list
 //	midasctl -node 127.0.0.1:7101 revoke hw-monitoring
 //	midasctl -node 127.0.0.1:7101 metrics
+//	midasctl -node 127.0.0.1:7101 trace [ext|node|traceID]
 //	midasctl -lookup 127.0.0.1:7000 services
 //	midasctl -base 127.0.0.1:7000 records [robot]
 package main
@@ -23,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -41,7 +43,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: list | revoke <name> | metrics | services | records [robot]")
+		return fmt.Errorf("need a subcommand: list | revoke <name> | metrics | trace [query] | services | records [robot]")
 	}
 
 	caller := transport.NewTCPCaller()
@@ -90,6 +92,31 @@ func run() error {
 			return err
 		}
 		metrics.WriteText(os.Stdout, resp.Snap)
+	case "trace":
+		target := *nodeAddr
+		if target == "" {
+			target = *baseAddr
+		}
+		if target == "" {
+			return fmt.Errorf("trace needs -node or -base")
+		}
+		query := ""
+		if len(args) > 1 {
+			query = args[1]
+		}
+		resp, err := transport.Invoke[core.TraceReq, core.TraceResp](ctx, caller, target, core.MethodTrace, core.TraceReq{Query: query})
+		if err != nil {
+			return err
+		}
+		if len(resp.Spans) == 0 {
+			fmt.Println("no matching spans")
+		} else {
+			trace.WriteText(os.Stdout, resp.Spans)
+		}
+		if len(resp.Events) > 0 {
+			fmt.Println()
+			trace.WriteEventsText(os.Stdout, resp.Events)
+		}
 	case "services":
 		if *lookupAddr == "" {
 			return fmt.Errorf("services needs -lookup")

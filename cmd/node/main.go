@@ -37,6 +37,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/svc"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/weave"
@@ -58,8 +59,11 @@ func run() error {
 		httpAddr = flag.String("http", "127.0.0.1:8101", "metrics/health HTTP address (empty disables)")
 		faults   = flag.String("faults", "", "inject outbound faults, e.g. loss=0.1,dup=0.05,latmax=50ms (empty disables)")
 		seed     = flag.Int64("seed", 1, "fault-injection RNG seed (used with -faults)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
 	)
 	flag.Parse()
+
+	tracer := trace.New(time.Now().UnixNano())
 
 	weaver := weave.New()
 	canvas := plotter.NewCanvas(40, 20)
@@ -110,6 +114,7 @@ func run() error {
 		caller = chaos
 		log.Printf("chaos: injecting %s on outbound calls (seed %d)", *faults, *seed)
 	}
+	caller = transport.TraceCalls(caller, tracer)
 	builtins := core.NewBuiltins()
 	ext.RegisterAll(builtins)
 	host := ext.NewNodeHost(ext.NodeHostConfig{
@@ -121,7 +126,7 @@ func run() error {
 
 	mux := transport.NewMux()
 	services.ServeOn(mux)
-	srv, err := transport.ServeTCP(*addr, mux)
+	srv, err := transport.ServeTCP(*addr, transport.TraceHandling(mux, tracer, *name))
 	if err != nil {
 		return err
 	}
@@ -148,6 +153,7 @@ func run() error {
 	}
 	srv.Instrument(reg)
 	receiver.Instrument(reg)
+	receiver.Trace(tracer)
 
 	receiver.ServeOn(mux)
 	receiver.Grantor().Start(time.Second)
@@ -164,12 +170,22 @@ func run() error {
 			}
 			return conn.Close()
 		})
-		maddr, stopHTTP, err := metrics.ServeHTTP(*httpAddr, reg, health)
+		mounts := []metrics.Mount{
+			{Pattern: "/trace", Handler: trace.Handler(tracer)},
+			{Pattern: "/events", Handler: trace.EventsHandler(tracer)},
+		}
+		if *pprofOn {
+			mounts = append(mounts, metrics.PprofMounts()...)
+		}
+		maddr, stopHTTP, err := metrics.ServeHTTP(*httpAddr, reg, health, mounts...)
 		if err != nil {
 			return err
 		}
 		defer stopHTTP()
-		log.Printf("metrics on http://%s/metrics, health on http://%s/healthz", maddr, maddr)
+		log.Printf("metrics on http://%s/metrics, traces on http://%s/trace", maddr, maddr)
+		if *pprofOn {
+			log.Printf("pprof on http://%s/debug/pprof/", maddr)
+		}
 	}
 
 	client := &registry.Client{Caller: caller, Addr: *lookup}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/sign"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/transport"
 
 	"repro/internal/event"
@@ -86,6 +87,9 @@ type adaptedNode struct {
 	id       string
 	addr     string
 	renewers map[string]*lease.Renewer // by extension name
+	// spanCtxs remembers, per extension, the span under which the push
+	// succeeded, so later renewals and revokes join the install's trace.
+	spanCtxs map[string]trace.SpanContext
 }
 
 // Base is a MIDAS extension base: it holds the extension set of one
@@ -102,6 +106,7 @@ type Base struct {
 	activity   []BaseActivity
 	reg        *metrics.Registry
 	m          baseMetrics
+	tracer     *trace.Tracer
 
 	departures chan string
 	onDepart   func(nodeAddr string)
@@ -170,6 +175,28 @@ func NewBase(cfg BaseConfig) (*Base, error) {
 // public key).
 func (b *Base) Signer() *sign.Signer { return b.cfg.Signer }
 
+// Trace records the base's lifecycle (adapt, push, renew, revoke, depart) as
+// spans in tr, wraps the base's outbound caller so calls carry trace context
+// across the fabric, and — when a Policy is configured — makes each retry
+// attempt a child span. Call before the base starts serving; a nil tr is a
+// no-op.
+func (b *Base) Trace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tracer = tr
+	b.mu.Unlock()
+	b.caller = transport.TraceCalls(b.caller, tr)
+	b.cfg.Policy.Trace(tr)
+}
+
+func (b *Base) traceRef() *trace.Tracer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tracer
+}
+
 // OnDepart registers a callback invoked when a node's lease renewals fail.
 func (b *Base) OnDepart(fn func(nodeAddr string)) {
 	b.mu.Lock()
@@ -203,7 +230,7 @@ func (b *Base) AddExtension(ext Extension) error {
 	b.mu.Unlock()
 
 	for _, n := range nodes {
-		if err := b.pushExtension(n, ext); err != nil {
+		if err := b.pushExtension(context.Background(), n, ext); err != nil {
 			b.log("push", n.id, ext.Name, "failed: "+err.Error())
 		}
 	}
@@ -237,7 +264,7 @@ func (b *Base) ReplaceExtension(ext Extension) error {
 	b.mu.Unlock()
 
 	for _, n := range nodes {
-		if err := b.pushExtension(n, ext); err != nil {
+		if err := b.pushExtension(context.Background(), n, ext); err != nil {
 			b.log("push", n.id, ext.Name, "failed: "+err.Error())
 		}
 	}
@@ -263,11 +290,17 @@ func (b *Base) RemoveExtension(name string) error {
 	nodes := b.adaptedNodesLocked()
 	b.mu.Unlock()
 
+	tr := b.traceRef()
 	for _, n := range nodes {
 		b.stopRenewer(n.addr, name)
-		ctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
+		// Revoke inside the trace that installed the extension on this node.
+		rctx, sp := tr.StartSpan(trace.NewContext(context.Background(), b.pushSpanCtx(n.addr, name)), "base.revoke")
+		sp.Tag("ext", name)
+		sp.Tag("node", n.id)
+		ctx, cancel := context.WithTimeout(rctx, b.cfg.CallTimeout)
 		_, err := transport.Invoke[RevokeReq, EmptyResp](ctx, b.caller, n.addr, MethodRevoke, RevokeReq{Name: name})
 		cancel()
+		sp.End(err)
 		detail := ""
 		if err != nil {
 			detail = "failed: " + err.Error()
@@ -275,6 +308,17 @@ func (b *Base) RemoveExtension(name string) error {
 		b.log("revoke", n.id, name, detail)
 	}
 	return nil
+}
+
+// pushSpanCtx returns the span context under which ext was pushed to the
+// node at addr, or the zero context.
+func (b *Base) pushSpanCtx(nodeAddr, extName string) trace.SpanContext {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n, ok := b.adapted[nodeAddr]; ok {
+		return n.spanCtxs[extName]
+	}
+	return trace.SpanContext{}
 }
 
 // Extensions lists the base's policy set names in order.
@@ -291,26 +335,43 @@ func (b *Base) Extensions() []string {
 // AdaptNode pushes every extension of the policy set to the node's
 // adaptation service and starts keeping the leases alive.
 func (b *Base) AdaptNode(nodeID, nodeAddr string) error {
+	return b.AdaptNodeCtx(context.Background(), nodeID, nodeAddr)
+}
+
+// AdaptNodeCtx is AdaptNode joining the trace carried by ctx (e.g. the
+// discovery announcement that surfaced the node); without one it roots a new
+// trace.
+func (b *Base) AdaptNodeCtx(ctx context.Context, nodeID, nodeAddr string) error {
 	b.mu.Lock()
 	if _, dup := b.adapted[nodeAddr]; dup {
 		b.mu.Unlock()
 		return nil // already adapted
 	}
-	n := &adaptedNode{id: nodeID, addr: nodeAddr, renewers: make(map[string]*lease.Renewer)}
+	n := &adaptedNode{
+		id:       nodeID,
+		addr:     nodeAddr,
+		renewers: make(map[string]*lease.Renewer),
+		spanCtxs: make(map[string]trace.SpanContext),
+	}
 	b.adapted[nodeAddr] = n
 	exts := append([]Extension(nil), b.extensions...)
 	b.mu.Unlock()
 
+	ctx, sp := b.traceRef().StartSpan(ctx, "base.adapt")
+	sp.Tag("node", nodeID)
+	sp.Annotatef("%d extensions to push", len(exts))
+
 	b.log("adapt", nodeID, "", fmt.Sprintf("%d extensions", len(exts)))
 	var firstErr error
 	for _, ext := range exts {
-		if err := b.pushExtension(n, ext); err != nil {
+		if err := b.pushExtension(ctx, n, ext); err != nil {
 			b.log("push", nodeID, ext.Name, "failed: "+err.Error())
 			if firstErr == nil {
 				firstErr = err
 			}
 		}
 	}
+	sp.End(firstErr)
 	if firstErr != nil {
 		// Nothing woven anywhere reachable: forget the node so a later
 		// attempt can retry cleanly.
@@ -375,33 +436,47 @@ func (b *Base) Close() {
 	}
 }
 
-func (b *Base) pushExtension(n *adaptedNode, ext Extension) error {
+func (b *Base) pushExtension(ctx context.Context, n *adaptedNode, ext Extension) error {
+	tr := b.traceRef()
+	pctx, sp := tr.StartSpan(ctx, "base.push")
+	sp.Tag("ext", ext.Name)
+	sp.Tag("node", n.id)
 	signed, err := Sign(b.cfg.Signer, ext)
 	if err != nil {
+		sp.End(err)
 		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
-	resp, err := transport.Invoke[InstallReq, InstallResp](ctx, b.caller, n.addr, MethodInstall, InstallReq{
+	ictx, cancel := context.WithTimeout(pctx, b.cfg.CallTimeout)
+	resp, err := transport.Invoke[InstallReq, InstallResp](ictx, b.caller, n.addr, MethodInstall, InstallReq{
 		Signed:    signed,
 		BaseAddr:  b.cfg.Addr,
 		DurMillis: b.cfg.LeaseDur.Milliseconds(),
 	})
 	cancel()
 	if err != nil {
+		sp.End(err)
 		return fmt.Errorf("core: push %q to %s: %w", ext.Name, n.addr, err)
 	}
+	sp.End(nil)
+	pushSC := sp.Context()
 	b.log("push", n.id, ext.Name, "")
 
 	// Keep the extension alive until the node leaves our space.
 	renewer := lease.NewRenewer(b.cfg.Clock,
 		lease.Lease{ID: lease.ID(resp.LeaseID), Duration: b.cfg.LeaseDur},
 		func(id lease.ID, d time.Duration) (lease.Lease, error) {
-			rctx, rcancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
+			// Each renewal is a child span of the push that installed the
+			// extension, so the whole lease history reads as one trace.
+			lctx, lsp := tr.StartSpan(trace.NewContext(context.Background(), pushSC), "lease.renew")
+			lsp.Tag("ext", ext.Name)
+			lsp.Tag("node", n.id)
+			rctx, rcancel := context.WithTimeout(lctx, b.cfg.CallTimeout)
 			defer rcancel()
 			resp, err := transport.Invoke[RenewExtReq, RenewExtResp](rctx, b.caller, n.addr, MethodRenewE, RenewExtReq{
 				LeaseID:   string(id),
 				DurMillis: d.Milliseconds(),
 			})
+			lsp.End(err)
 			if err != nil {
 				return lease.Lease{}, err
 			}
@@ -432,6 +507,10 @@ func (b *Base) pushExtension(n *adaptedNode, ext Extension) error {
 		go old.Stop()
 	}
 	n.renewers[ext.Name] = renewer
+	if n.spanCtxs == nil {
+		n.spanCtxs = make(map[string]trace.SpanContext)
+	}
+	n.spanCtxs[ext.Name] = pushSC
 	b.mu.Unlock()
 	renewer.Start()
 	return nil
@@ -452,6 +531,12 @@ func (b *Base) nodeDeparted(nodeAddr string) {
 	for _, r := range n.renewers {
 		r.Stop()
 	}
+	tr := b.traceRef()
+	_, dsp := tr.StartSpan(context.Background(), "base.depart")
+	dsp.Tag("node", n.id)
+	dsp.Annotatef("lease renewal failed")
+	dsp.End(nil)
+	tr.Eventf(nil, "base", "node %s departed (lease renewal failed)", n.id)
 	b.log("depart", n.id, "", "lease renewal failed")
 
 	// Simple roaming: hint neighbour bases that the node may have entered
@@ -538,18 +623,26 @@ func (b *Base) ServeOn(mux *transport.Mux) {
 		}
 		return QueryResp{Records: b.cfg.Store.Query(req.Filter)}, nil
 	})
-	transport.Register(mux, MethodBaseOnService, func(_ context.Context, n event.Notification) (EmptyResp, error) {
+	transport.Register(mux, MethodBaseOnService, func(ctx context.Context, n event.Notification) (EmptyResp, error) {
 		var ev registry.Event
 		if err := n.DecodeBody(&ev); err != nil {
 			return EmptyResp{}, err
 		}
 		if ev.Kind == registry.Added && ev.Item.Name == AdaptationService {
-			go func() { _ = b.AdaptNode(ev.Item.ID, ev.Item.Addr) }()
+			// Adapt inside the trace of the discovery announcement: prefer
+			// the span context delivered with the request, falling back to
+			// the one stamped on the registry event itself.
+			actx := trace.Detach(ctx)
+			if _, ok := trace.FromContext(actx); !ok {
+				actx = trace.NewContext(actx, ev.Trace)
+			}
+			go func() { _ = b.AdaptNodeCtx(actx, ev.Item.ID, ev.Item.Addr) }()
 		}
 		return EmptyResp{}, nil
 	})
-	transport.Register(mux, MethodBaseRoam, func(_ context.Context, req RoamReq) (EmptyResp, error) {
-		go func() { _ = b.AdaptNode(req.NodeID, req.NodeAddr) }()
+	transport.Register(mux, MethodBaseRoam, func(ctx context.Context, req RoamReq) (EmptyResp, error) {
+		actx := trace.Detach(ctx)
+		go func() { _ = b.AdaptNodeCtx(actx, req.NodeID, req.NodeAddr) }()
 		return EmptyResp{}, nil
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/sandbox"
 	"repro/internal/sign"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/weave"
 )
@@ -27,6 +28,12 @@ const AdaptationService = "midas.adaptation"
 // The wire revoke handler treats it as already-done so a base retrying a
 // revocation whose response was lost stays idempotent.
 var ErrNotInstalled = errors.New("not installed")
+
+func init() {
+	// Let errors.Is(err, ErrNotInstalled) hold for remote errors too, on
+	// every fabric.
+	transport.RegisterRemoteSentinel(ErrNotInstalled)
+}
 
 // ReceiverConfig assembles the dependencies of an adaptation service.
 type ReceiverConfig struct {
@@ -68,6 +75,9 @@ type installedExt struct {
 	system   bool
 	refs     int // dependents, for system extensions
 	bodies   []aop.Body
+	// sc is the span context of the install, so an autonomous expiry years
+	// of renewals later still joins the trace that installed the extension.
+	sc trace.SpanContext
 }
 
 // Receiver is the adaptation service carried by every mobile node: it
@@ -83,6 +93,7 @@ type Receiver struct {
 	activity  []Activity
 	reg       *metrics.Registry
 	m         receiverMetrics
+	tracer    *trace.Tracer
 }
 
 // receiverMetrics counts adaptation lifecycle events, mirroring the activity
@@ -143,37 +154,79 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 // Grantor exposes the lease grantor for sweeping (tests) or Start/Stop.
 func (r *Receiver) Grantor() *lease.Grantor { return r.grantor }
 
+// Trace records the receiver's lifecycle (install, refresh, withdraw,
+// expire) as spans in tr and threads the tracer into the weaver and grantor,
+// so a pushed extension's whole journey on this node reads as one trace.
+// ServeOn additionally gains a midas.trace method exposing tr's spans and
+// events over the fabric. Call before serving; a nil tr is a no-op.
+func (r *Receiver) Trace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tracer = tr
+	r.mu.Unlock()
+	r.cfg.Weaver.Trace(tr)
+	r.grantor.Trace(tr)
+}
+
+func (r *Receiver) traceRef() *trace.Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
 // Install verifies, sandboxes and weaves a signed extension from baseAddr,
 // holding it under a lease of duration dur. Implicit extensions listed in
 // Requires are auto-installed from the builtin bundle registry first.
 func (r *Receiver) Install(signed SignedExtension, baseAddr string, dur time.Duration) (lease.ID, error) {
+	return r.InstallCtx(context.Background(), signed, baseAddr, dur)
+}
+
+// InstallCtx is Install joining the trace carried by ctx (normally the
+// base's push, delivered with the RPC); the outcome — fresh install, version
+// replace or idempotent refresh — lands as a tag on the "ext.install" span.
+func (r *Receiver) InstallCtx(ctx context.Context, signed SignedExtension, baseAddr string, dur time.Duration) (lease.ID, error) {
 	ext := signed.Ext
+	ctx, sp := r.traceRef().StartSpan(ctx, "ext.install")
+	sp.Tag("ext", ext.Name)
+	sp.Tag("node", r.cfg.NodeName)
 	if err := signed.Verify(r.cfg.Trust); err != nil {
 		r.log("reject", ext.Name, baseAddr, err.Error())
+		sp.Tag("outcome", "reject")
+		sp.End(err)
 		return "", err
 	}
 	if err := ext.Validate(); err != nil {
 		r.log("reject", ext.Name, baseAddr, err.Error())
+		sp.Tag("outcome", "reject")
+		sp.End(err)
 		return "", err
 	}
 	// Resolve implicit extensions before the dependent one (§3.3: adding an
 	// extension that needs session information automatically adds the
 	// session-management extension).
 	for _, req := range ext.Requires {
-		if err := r.installImplicit(req, baseAddr); err != nil {
+		if err := r.installImplicit(ctx, req, baseAddr); err != nil {
 			r.log("reject", ext.Name, baseAddr, err.Error())
+			sp.Tag("outcome", "reject")
+			sp.End(err)
 			return "", err
 		}
 	}
-	id, err := r.install(ext, signed.Sig.SignerName, baseAddr, dur, false)
+	id, outcome, err := r.install(ctx, ext, signed.Sig.SignerName, baseAddr, dur, false)
 	if err != nil {
 		r.log("reject", ext.Name, baseAddr, err.Error())
+		sp.Tag("outcome", "reject")
+		sp.End(err)
 		return "", err
 	}
+	sp.Tag("outcome", outcome)
+	sp.End(nil)
 	return id, nil
 }
 
-func (r *Receiver) installImplicit(name, baseAddr string) error {
+func (r *Receiver) installImplicit(ctx context.Context, name, baseAddr string) error {
 	r.mu.Lock()
 	if ie, ok := r.installed[name]; ok {
 		ie.refs++
@@ -186,7 +239,7 @@ func (r *Receiver) installImplicit(name, baseAddr string) error {
 		return fmt.Errorf("core: required implicit extension %q not available", name)
 	}
 	// Implicit extensions are local and trusted: no lease, no signature.
-	if _, err := r.install(bundle, "local", baseAddr, 0, true); err != nil {
+	if _, _, err := r.install(ctx, bundle, "local", baseAddr, 0, true); err != nil {
 		return err
 	}
 	r.mu.Lock()
@@ -197,7 +250,7 @@ func (r *Receiver) installImplicit(name, baseAddr string) error {
 	return nil
 }
 
-func (r *Receiver) install(ext Extension, signer, baseAddr string, dur time.Duration, system bool) (lease.ID, error) {
+func (r *Receiver) install(ctx context.Context, ext Extension, signer, baseAddr string, dur time.Duration, system bool) (lease.ID, string, error) {
 	// Idempotent re-push: a base retrying an install whose response was lost
 	// on the wire re-sends the same version. Refresh the existing lease and
 	// return the original handle instead of failing — and do it before any
@@ -210,16 +263,16 @@ func (r *Receiver) install(ext Extension, signer, baseAddr string, dur time.Dura
 	}
 	r.mu.Unlock()
 	if refreshID != "" {
-		if _, err := r.grantor.Renew(refreshID, dur); err == nil {
+		if _, err := r.grantor.RenewCtx(ctx, refreshID, dur); err == nil {
 			r.log("refresh", ext.Name, baseAddr, fmt.Sprintf("version %d", ext.Version))
-			return refreshID, nil
+			return refreshID, "refresh", nil
 		}
 		// The lease lapsed under us; fall through to the ordinary path.
 	}
 
 	perms, err := r.cfg.Policy.Grant(signer, ext.Capabilities())
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	gated := sandbox.NewHost(r.cfg.Host, perms)
 	env := &Env{NodeName: r.cfg.NodeName, BaseAddr: baseAddr, Host: gated, Extras: r.cfg.Extras}
@@ -235,15 +288,15 @@ func (r *Receiver) install(ext Extension, signer, baseAddr string, dur time.Dura
 			body, err = CompileAdvice(spec.Code, gated)
 		}
 		if err != nil {
-			return "", fmt.Errorf("core: extension %q advice %q: %w", ext.Name, spec.Name, err)
+			return "", "", fmt.Errorf("core: extension %q advice %q: %w", ext.Name, spec.Name, err)
 		}
 		when, kind, err := adviceKind(spec.Kind)
 		if err != nil {
-			return "", err
+			return "", "", err
 		}
 		pat, err := aop.ParsePattern(spec.Pattern)
 		if err != nil {
-			return "", err
+			return "", "", err
 		}
 		bodies = append(bodies, body)
 		aspect.Advices = append(aspect.Advices, aop.Advice{
@@ -268,27 +321,28 @@ func (r *Receiver) install(ext Extension, signer, baseAddr string, dur time.Dura
 	event := "install"
 	if exists {
 		if ext.Version <= old.ext.Version {
-			return "", fmt.Errorf("core: extension %q version %d already installed (have %d)",
+			return "", "", fmt.Errorf("core: extension %q version %d already installed (have %d)",
 				ext.Name, ext.Version, old.ext.Version)
 		}
-		if err := r.cfg.Weaver.Replace(ext.Name, aspect); err != nil {
-			return "", err
+		if err := r.cfg.Weaver.ReplaceCtx(ctx, ext.Name, aspect); err != nil {
+			return "", "", err
 		}
 		_ = r.grantor.Cancel(old.leaseID)
 		event = "replace"
 	} else {
-		if err := r.cfg.Weaver.Insert(aspect); err != nil {
-			return "", err
+		if err := r.cfg.Weaver.InsertCtx(ctx, aspect); err != nil {
+			return "", "", err
 		}
 	}
 
 	ie := &installedExt{ext: ext, baseAddr: baseAddr, system: system, bodies: bodies}
+	ie.sc, _ = trace.FromContext(ctx)
 	if exists {
 		ie.refs = old.refs
 	}
 	if !system {
 		name := ext.Name
-		l := r.grantor.Grant(dur, func(lease.ID) { r.expire(name) })
+		l := r.grantor.GrantCtx(ctx, dur, func(lease.ID) { r.expire(name) })
 		ie.leaseID = l.ID
 	}
 	r.mu.Lock()
@@ -296,9 +350,9 @@ func (r *Receiver) install(ext Extension, signer, baseAddr string, dur time.Dura
 	r.mu.Unlock()
 	r.log(event, ext.Name, baseAddr, fmt.Sprintf("version %d, perms %s", ext.Version, gated.Perms()))
 	if ie.leaseID != "" {
-		return ie.leaseID, nil
+		return ie.leaseID, event, nil
 	}
-	return "", nil
+	return "", event, nil
 }
 
 // Renew extends an installed extension's lease; bases call this periodically
@@ -311,16 +365,38 @@ func (r *Receiver) Renew(id lease.ID, dur time.Duration) error {
 // Withdraw removes the named extension immediately (explicit revocation by
 // the base, or local policy), running its shutdown procedure.
 func (r *Receiver) Withdraw(name string) error {
-	return r.remove(name, "withdraw")
+	return r.WithdrawCtx(context.Background(), name)
+}
+
+// WithdrawCtx is Withdraw joining the trace carried by ctx (normally the
+// base's revoke RPC).
+func (r *Receiver) WithdrawCtx(ctx context.Context, name string) error {
+	ctx, sp := r.traceRef().StartSpan(ctx, "ext.withdraw")
+	sp.Tag("ext", name)
+	sp.Tag("node", r.cfg.NodeName)
+	err := r.remove(ctx, name, "withdraw")
+	sp.End(err)
+	return err
 }
 
 func (r *Receiver) expire(name string) {
 	// Lease lapsed without renewal: the node has left the base's space (or
-	// the base died); autonomously discard the adaptation (§3.2).
-	_ = r.remove(name, "expire")
+	// the base died); autonomously discard the adaptation (§3.2) — inside
+	// the trace that installed the extension.
+	r.mu.Lock()
+	var sc trace.SpanContext
+	if ie, ok := r.installed[name]; ok {
+		sc = ie.sc
+	}
+	tr := r.tracer
+	r.mu.Unlock()
+	ctx, sp := tr.StartSpan(trace.NewContext(context.Background(), sc), "ext.expire")
+	sp.Tag("ext", name)
+	sp.Tag("node", r.cfg.NodeName)
+	sp.End(r.remove(ctx, name, "expire"))
 }
 
-func (r *Receiver) remove(name, event string) error {
+func (r *Receiver) remove(ctx context.Context, name, event string) error {
 	r.mu.Lock()
 	ie, ok := r.installed[name]
 	if !ok {
@@ -336,7 +412,7 @@ func (r *Receiver) remove(name, event string) error {
 	if leaseID != "" {
 		_ = r.grantor.Cancel(leaseID)
 	}
-	if err := r.cfg.Weaver.Withdraw(name); err != nil {
+	if err := r.cfg.Weaver.WithdrawCtx(ctx, name); err != nil {
 		return err
 	}
 	r.log(event, name, baseAddr, "")
@@ -352,7 +428,7 @@ func (r *Receiver) remove(name, event string) error {
 		}
 		r.mu.Unlock()
 		if drop {
-			_ = r.remove(req, "withdraw")
+			_ = r.remove(ctx, req, "withdraw")
 		}
 	}
 	return nil
@@ -437,7 +513,13 @@ func (r *Receiver) Advertise(client *registry.Client, dur time.Duration, attrs m
 		Addr:  r.cfg.Addr,
 		Attrs: attrs,
 	}
-	leaseID, err := client.Register(item, dur)
+	// The advertisement roots the trace a whole adaptation hangs off: the
+	// lookup stamps its span context on the watcher event, the base adapts
+	// inside it, and the pushes/weaves/renewals that follow join it.
+	ctx, sp := r.traceRef().StartSpan(context.Background(), "discovery.advertise")
+	sp.Tag("node", r.cfg.NodeName)
+	leaseID, err := client.RegisterCtx(ctx, item, dur)
+	sp.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: advertise: %w", err)
 	}
@@ -468,6 +550,7 @@ const (
 	MethodRevoke  = "midas.revoke"
 	MethodList    = "midas.list"
 	MethodMetrics = "midas.metrics"
+	MethodTrace   = "midas.trace"
 )
 
 // Wire types for the receiver RPC surface.
@@ -505,30 +588,40 @@ type (
 	MetricsResp struct {
 		Snap metrics.Snapshot
 	}
+	// TraceReq queries recorded spans by trace ID, extension or node name;
+	// an empty query returns everything.
+	TraceReq struct {
+		Query string
+	}
+	// TraceResp carries the matching spans plus the events of their traces.
+	TraceResp struct {
+		Spans  []trace.SpanSnapshot
+		Events []trace.Event
+	}
 	// EmptyResp is the empty response.
 	EmptyResp struct{}
 )
 
 // ServeOn registers the receiver's RPC surface on mux.
 func (r *Receiver) ServeOn(mux *transport.Mux) {
-	transport.Register(mux, MethodInstall, func(_ context.Context, req InstallReq) (InstallResp, error) {
-		id, err := r.Install(req.Signed, req.BaseAddr, time.Duration(req.DurMillis)*time.Millisecond)
+	transport.Register(mux, MethodInstall, func(ctx context.Context, req InstallReq) (InstallResp, error) {
+		id, err := r.InstallCtx(ctx, req.Signed, req.BaseAddr, time.Duration(req.DurMillis)*time.Millisecond)
 		if err != nil {
 			return InstallResp{}, err
 		}
 		return InstallResp{LeaseID: string(id)}, nil
 	})
-	transport.Register(mux, MethodRenewE, func(_ context.Context, req RenewExtReq) (RenewExtResp, error) {
-		l, err := r.grantor.Renew(lease.ID(req.LeaseID), time.Duration(req.DurMillis)*time.Millisecond)
+	transport.Register(mux, MethodRenewE, func(ctx context.Context, req RenewExtReq) (RenewExtResp, error) {
+		l, err := r.grantor.RenewCtx(ctx, lease.ID(req.LeaseID), time.Duration(req.DurMillis)*time.Millisecond)
 		if err != nil {
 			return RenewExtResp{}, err
 		}
 		return RenewExtResp{DurMillis: l.Duration.Milliseconds()}, nil
 	})
-	transport.Register(mux, MethodRevoke, func(_ context.Context, req RevokeReq) (EmptyResp, error) {
+	transport.Register(mux, MethodRevoke, func(ctx context.Context, req RevokeReq) (EmptyResp, error) {
 		// A revoke of something already gone is a success: the base may be
 		// retrying a revocation whose response was lost.
-		if err := r.Withdraw(req.Name); err != nil && !errors.Is(err, ErrNotInstalled) {
+		if err := r.WithdrawCtx(ctx, req.Name); err != nil && !errors.Is(err, ErrNotInstalled) {
 			return EmptyResp{}, err
 		}
 		return EmptyResp{}, nil
@@ -545,4 +638,33 @@ func (r *Receiver) ServeOn(mux *transport.Mux) {
 		}
 		return MetricsResp{Snap: reg.Snapshot()}, nil
 	})
+	transport.Register(mux, MethodTrace, func(_ context.Context, req TraceReq) (TraceResp, error) {
+		tr := r.traceRef()
+		if tr == nil {
+			return TraceResp{}, fmt.Errorf("core: node %s is not traced", r.cfg.NodeName)
+		}
+		return CollectTrace(tr, req), nil
+	})
+}
+
+// CollectTrace resolves a trace query against tr: the spans QuerySpans finds
+// plus every buffered event belonging to their traces (all events for an
+// empty query). Daemons that are not receivers (the base station) register
+// MethodTrace with this directly.
+func CollectTrace(tr *trace.Tracer, req TraceReq) TraceResp {
+	spans := tr.QuerySpans(req.Query)
+	if req.Query == "" {
+		return TraceResp{Spans: spans, Events: tr.Events(trace.EventFilter{})}
+	}
+	ids := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		ids[s.TraceID] = true
+	}
+	var events []trace.Event
+	for _, e := range tr.Events(trace.EventFilter{}) {
+		if ids[e.TraceID] {
+			events = append(events, e)
+		}
+	}
+	return TraceResp{Spans: spans, Events: events}
 }

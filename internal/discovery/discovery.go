@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -36,6 +37,7 @@ type Bus struct {
 	subs   map[int]*busSub
 	nextID int
 	m      busMetrics
+	tracer *trace.Tracer
 }
 
 // busMetrics counts announcement traffic; nil-safe no-ops until Instrument.
@@ -71,6 +73,17 @@ func NewBus() *Bus {
 	return &Bus{subs: make(map[int]*busSub)}
 }
 
+// Trace logs published announcements to tr's structured event ring under the
+// "discovery" component. A nil tr is a no-op.
+func (b *Bus) Trace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tracer = tr
+}
+
 // Announce publishes a to all current subscribers (synchronously).
 func (b *Bus) Announce(a Announcement) {
 	b.mu.Lock()
@@ -79,8 +92,10 @@ func (b *Bus) Announce(a Announcement) {
 		subs = append(subs, s)
 	}
 	m := b.m
+	tr := b.tracer
 	b.mu.Unlock()
 	m.announces.Inc()
+	tr.Eventf(nil, "discovery", "announce %s (lookup %s, area %q) to %d subscribers", a.Name, a.LookupAddr, a.Area, len(subs))
 	for _, s := range subs {
 		if s.filter == nil || s.filter(a) {
 			m.deliveries.Inc()

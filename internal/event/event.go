@@ -13,16 +13,21 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/lease"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
 // Notification is one delivered event. Seq increases per subscription, so
-// listeners can detect loss or reordering.
+// listeners can detect loss or reordering. Trace carries the span context of
+// the operation that published the event, so a notification delivered later
+// on another node still joins the originating trace; the zero value means the
+// publish was untraced.
 type Notification struct {
 	Source string
 	Seq    int64
 	Kind   string
 	Body   []byte
+	Trace  trace.SpanContext
 }
 
 // DecodeBody decodes the notification payload into v.
@@ -140,10 +145,18 @@ func (d *Dispatcher) Subscribers() []string {
 // Publish encodes v and enqueues a notification of the given kind to every
 // subscriber. Returns the number of subscribers targeted.
 func (d *Dispatcher) Publish(kind string, v any) (int, error) {
+	return d.PublishCtx(context.Background(), kind, v)
+}
+
+// PublishCtx is Publish carrying the span context from ctx (if any) in the
+// notification envelope, so asynchronous delivery still joins the publishing
+// operation's trace.
+func (d *Dispatcher) PublishCtx(ctx context.Context, kind string, v any) (int, error) {
 	body, err := transport.Encode(v)
 	if err != nil {
 		return 0, err
 	}
+	sc, _ := trace.FromContext(ctx)
 	d.mu.Lock()
 	targets := make([]*subscriber, 0, len(d.subs))
 	for _, s := range d.subs {
@@ -151,24 +164,30 @@ func (d *Dispatcher) Publish(kind string, v any) (int, error) {
 	}
 	d.mu.Unlock()
 	for _, s := range targets {
-		d.enqueue(s, kind, body)
+		d.enqueue(s, kind, body, sc)
 	}
 	return len(targets), nil
 }
 
 // PublishTo notifies a single subscription.
 func (d *Dispatcher) PublishTo(id, kind string, v any) error {
+	return d.PublishToCtx(context.Background(), id, kind, v)
+}
+
+// PublishToCtx is PublishTo carrying the span context from ctx (if any).
+func (d *Dispatcher) PublishToCtx(ctx context.Context, id, kind string, v any) error {
 	body, err := transport.Encode(v)
 	if err != nil {
 		return err
 	}
+	sc, _ := trace.FromContext(ctx)
 	d.mu.Lock()
 	s, ok := d.subs[id]
 	d.mu.Unlock()
 	if !ok {
 		return lease.ErrUnknownLease
 	}
-	d.enqueue(s, kind, body)
+	d.enqueue(s, kind, body, sc)
 	return nil
 }
 
@@ -188,10 +207,10 @@ func (d *Dispatcher) Close() {
 	}
 }
 
-func (d *Dispatcher) enqueue(s *subscriber, kind string, body []byte) {
+func (d *Dispatcher) enqueue(s *subscriber, kind string, body []byte, sc trace.SpanContext) {
 	d.mu.Lock()
 	s.seq++
-	n := Notification{Source: d.source, Seq: s.seq, Kind: kind, Body: body}
+	n := Notification{Source: d.source, Seq: s.seq, Kind: kind, Body: body, Trace: sc}
 	d.mu.Unlock()
 	select {
 	case s.queue <- n:
@@ -208,7 +227,9 @@ func (d *Dispatcher) drain(s *subscriber) {
 		case <-s.done:
 			return
 		case n := <-s.queue:
-			ctx, cancel := context.WithTimeout(context.Background(), deliveryTimeout)
+			// Reconstitute the publisher's span context so the notify RPC
+			// (and anything the listener does with it) joins its trace.
+			ctx, cancel := context.WithTimeout(trace.NewContext(context.Background(), n.Trace), deliveryTimeout)
 			err := d.caller.Call(ctx, s.sub.Addr, s.sub.Method, n, nil)
 			cancel()
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -19,6 +20,7 @@ type Inbox struct {
 	mu      sync.Mutex
 	sources map[string]*seqWindow
 	m       inboxMetrics
+	tracer  *trace.Tracer
 }
 
 type seqWindow struct {
@@ -55,6 +57,24 @@ func (in *Inbox) Instrument(reg *metrics.Registry) {
 	}
 }
 
+// Trace logs accepted, duplicate and held-back notifications to tr's
+// structured event ring under the "event" component, each stamped with the
+// publisher's trace ID. A nil tr is a no-op.
+func (in *Inbox) Trace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.tracer = tr
+}
+
+// eventCtx reconstitutes a context carrying n's span context so ring events
+// are stamped with the publisher's trace ID.
+func eventCtx(n Notification) context.Context {
+	return trace.NewContext(context.Background(), n.Trace)
+}
+
 // Deliver feeds one received notification through the dedup window. It
 // reports whether n was fresh (first sighting); the apply callback may run
 // zero or more times depending on which gaps n fills.
@@ -68,14 +88,17 @@ func (in *Inbox) Deliver(n Notification) bool {
 	}
 	if n.Seq < w.next {
 		in.m.duplicates.Inc()
+		in.tracer.Eventf(eventCtx(n), "event", "drop duplicate %s seq %d from %s (already applied)", n.Kind, n.Seq, n.Source)
 		return false
 	}
 	if _, held := w.ahead[n.Seq]; held {
 		in.m.duplicates.Inc()
+		in.tracer.Eventf(eventCtx(n), "event", "drop duplicate %s seq %d from %s (already buffered)", n.Kind, n.Seq, n.Source)
 		return false
 	}
 	if n.Seq > w.next {
 		in.m.reorders.Inc()
+		in.tracer.Eventf(eventCtx(n), "event", "hold early %s seq %d from %s (want %d)", n.Kind, n.Seq, n.Source, w.next)
 	}
 	w.ahead[n.Seq] = n
 	for {
@@ -86,6 +109,7 @@ func (in *Inbox) Deliver(n Notification) bool {
 		delete(w.ahead, w.next)
 		w.next++
 		in.m.applied.Inc()
+		in.tracer.Eventf(eventCtx(nn), "event", "apply %s seq %d from %s", nn.Kind, nn.Seq, nn.Source)
 		in.apply(nn)
 	}
 	return true

@@ -6,6 +6,7 @@
 package lease
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -15,6 +16,8 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // ID identifies a lease at its grantor.
@@ -32,6 +35,12 @@ var (
 	ErrUnknownLease = errors.New("lease: unknown lease")
 	ErrExpired      = errors.New("lease: lease expired")
 )
+
+func init() {
+	// Lease errors cross the wire on renewals: let errors.Is recover them
+	// from remote errors on every fabric.
+	transport.RegisterRemoteSentinel(ErrUnknownLease, ErrExpired)
+}
 
 // errStopped marks a renewal abandoned because the renewer was stopped
 // mid-retry; it must not be reported as a renewal failure.
@@ -52,6 +61,7 @@ type Grantor struct {
 	mu     sync.Mutex
 	grants map[ID]*grant
 	m      grantorMetrics
+	tracer *trace.Tracer
 
 	stop chan struct{}
 	done chan struct{}
@@ -96,36 +106,69 @@ func NewGrantor(clk clock.Clock) *Grantor {
 	return &Grantor{clk: clk, grants: make(map[ID]*grant)}
 }
 
+// Trace logs grant/renew/cancel/expiry facts to tr's structured event ring
+// under the "lease" component. A nil tr is a no-op.
+func (g *Grantor) Trace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tracer = tr
+}
+
+func (g *Grantor) traceRef() *trace.Tracer {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tracer
+}
+
 // Grant issues a lease for d. onExpire (may be nil) runs when the lease
 // lapses without renewal; it does not run on Cancel.
 func (g *Grantor) Grant(d time.Duration, onExpire func(ID)) Lease {
+	return g.GrantCtx(context.Background(), d, onExpire)
+}
+
+// GrantCtx is Grant stamping the grant event with the trace carried by ctx
+// (normally the install that holds the lease).
+func (g *Grantor) GrantCtx(ctx context.Context, d time.Duration, onExpire func(ID)) Lease {
 	id := ID(randomID())
 	l := Lease{ID: id, Expiry: g.clk.Now().Add(d), Duration: d}
 	g.mu.Lock()
 	g.grants[id] = &grant{lease: l, onExpire: onExpire}
 	g.m.grants.Inc()
 	g.m.active.Set(int64(len(g.grants)))
+	g.tracer.Eventf(ctx, "lease", "grant %s for %s", id, d)
 	g.mu.Unlock()
 	return l
 }
 
 // Renew extends the lease by d from now.
 func (g *Grantor) Renew(id ID, d time.Duration) (Lease, error) {
+	return g.RenewCtx(context.Background(), id, d)
+}
+
+// RenewCtx is Renew stamping the renewal event with the trace carried by ctx
+// (normally the remote renewal RPC, which joins the install's trace).
+func (g *Grantor) RenewCtx(ctx context.Context, id ID, d time.Duration) (Lease, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	gr, ok := g.grants[id]
 	if !ok {
 		g.m.renewErrors.Inc()
+		g.tracer.Eventf(ctx, "lease", "renew %s refused: unknown lease", id)
 		return Lease{}, ErrUnknownLease
 	}
 	now := g.clk.Now()
 	if gr.lease.Expiry.Before(now) {
 		g.m.renewErrors.Inc()
+		g.tracer.Eventf(ctx, "lease", "renew %s refused: already expired", id)
 		return Lease{}, ErrExpired
 	}
 	gr.lease.Expiry = now.Add(d)
 	gr.lease.Duration = d
 	g.m.renewals.Inc()
+	g.tracer.Eventf(ctx, "lease", "renew %s for %s", id, d)
 	return gr.lease, nil
 }
 
@@ -139,6 +182,7 @@ func (g *Grantor) Cancel(id ID) error {
 	delete(g.grants, id)
 	g.m.cancels.Inc()
 	g.m.active.Set(int64(len(g.grants)))
+	g.tracer.Eventf(nil, "lease", "cancel %s", id)
 	return nil
 }
 
@@ -171,6 +215,9 @@ func (g *Grantor) ExpireNow() int {
 	}
 	g.m.expiries.Add(uint64(len(fired)))
 	g.m.active.Set(int64(len(g.grants)))
+	for _, gr := range fired {
+		g.tracer.Eventf(nil, "lease", "expire %s (no renewal)", gr.lease.ID)
+	}
 	g.mu.Unlock()
 	for _, gr := range fired {
 		if gr.onExpire != nil {
@@ -234,6 +281,7 @@ type Renewer struct {
 	fraction float64
 	retries  int
 	m        renewerMetrics
+	tracer   *trace.Tracer
 
 	stop chan struct{}
 	done chan struct{}
@@ -282,6 +330,13 @@ func NewRenewer(clk clock.Clock, l Lease, renew RenewFunc, fraction float64, onF
 	}
 }
 
+// Trace logs holder-side renewal retries and terminal failures to tr's
+// structured event ring under the "lease" component. Like Instrument it must
+// be called before Start. A nil tr is a no-op.
+func (r *Renewer) Trace(tr *trace.Tracer) {
+	r.tracer = tr
+}
+
 // SetRetries configures how many additional renewal attempts are made within
 // the remaining lease time before the renewer declares failure (default 0).
 // Retries are spaced so they all fit before the lease would lapse.
@@ -313,6 +368,7 @@ func (r *Renewer) Start() {
 					return
 				}
 				r.m.failures.Inc()
+				r.tracer.Eventf(nil, "lease", "renewal of %s failed for good: %v", r.lease.ID, err)
 				if r.onFail != nil {
 					r.onFail(err)
 				}
@@ -342,6 +398,7 @@ func (r *Renewer) renewWithRetry() (Lease, error) {
 		case <-r.clk.After(gap):
 		}
 		r.m.retries.Inc()
+		r.tracer.Eventf(nil, "lease", "retrying renewal of %s (attempt %d of %d): %v", r.lease.ID, attempt+1, r.retries, err)
 		if l, rerr := r.renew(r.lease.ID, r.lease.Duration); rerr == nil {
 			return l, nil
 		} else {

@@ -136,16 +136,29 @@ func (h *Health) Handler() http.Handler {
 	})
 }
 
+// Mount attaches an extra handler to the observability listener — tracing
+// endpoints, pprof, anything a daemon wants on the same port as /metrics.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeHTTP starts an HTTP server on addr exposing /metrics (the registry
-// snapshot) and /healthz (the health checks). It returns the bound address
-// and a shutdown function. addr may end in ":0" to pick a free port.
-func ServeHTTP(addr string, r *Registry, h *Health) (string, func(), error) {
+// snapshot) and /healthz (the health checks), plus any extra mounts. It
+// returns the bound address and a shutdown function. addr may end in ":0" to
+// pick a free port.
+func ServeHTTP(addr string, r *Registry, h *Health, extra ...Mount) (string, func(), error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
 	if h == nil {
 		h = NewHealth()
 	}
 	mux.Handle("/healthz", h.Handler())
+	for _, m := range extra {
+		if m.Pattern != "" && m.Handler != nil {
+			mux.Handle(m.Pattern, m.Handler)
+		}
+	}
 	srv := &http.Server{Handler: mux}
 	ln, err := listen(addr)
 	if err != nil {

@@ -1,0 +1,20 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMounts returns the standard net/http/pprof handlers as mounts for
+// ServeHTTP, so daemons can expose CPU/heap/goroutine profiling on the same
+// listener as /metrics. Callers should gate this behind a flag: the profile
+// endpoints are debugging surface and cost CPU while sampled.
+func PprofMounts() []Mount {
+	return []Mount{
+		{Pattern: "/debug/pprof/", Handler: http.HandlerFunc(pprof.Index)},
+		{Pattern: "/debug/pprof/cmdline", Handler: http.HandlerFunc(pprof.Cmdline)},
+		{Pattern: "/debug/pprof/profile", Handler: http.HandlerFunc(pprof.Profile)},
+		{Pattern: "/debug/pprof/symbol", Handler: http.HandlerFunc(pprof.Symbol)},
+		{Pattern: "/debug/pprof/trace", Handler: http.HandlerFunc(pprof.Trace)},
+	}
+}

@@ -5,6 +5,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/lease"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ServiceItem is one advertised service.
@@ -67,10 +69,14 @@ func (k EventKind) String() string {
 	}
 }
 
-// Event notifies a watcher of a registration change.
+// Event notifies a watcher of a registration change. Trace carries the span
+// context of the registration that caused it (zero if untraced), so a watcher
+// reacting to an arrival — an extension base adapting a node — continues the
+// node's announce trace.
 type Event struct {
-	Kind EventKind
-	Item ServiceItem
+	Kind  EventKind
+	Item  ServiceItem
+	Trace trace.SpanContext
 }
 
 // ErrUnknownService is returned for operations on unregistered services.
@@ -154,9 +160,16 @@ func (l *Lookup) Grantor() *lease.Grantor { return l.grantor }
 // Register advertises item for the lease duration. Re-registering an existing
 // ID refreshes the item and returns a fresh lease.
 func (l *Lookup) Register(item ServiceItem, dur time.Duration) (lease.Lease, error) {
+	return l.RegisterCtx(context.Background(), item, dur)
+}
+
+// RegisterCtx is Register stamping watcher events with the span context from
+// ctx (if any), so watchers join the registrant's trace.
+func (l *Lookup) RegisterCtx(ctx context.Context, item ServiceItem, dur time.Duration) (lease.Lease, error) {
 	if item.ID == "" || item.Name == "" {
 		return lease.Lease{}, errors.New("registry: item needs ID and Name")
 	}
+	sc, _ := trace.FromContext(ctx)
 	l.mu.Lock()
 	if old, ok := l.items[item.ID]; ok {
 		// Refresh: cancel the old lease silently.
@@ -166,7 +179,7 @@ func (l *Lookup) Register(item ServiceItem, dur time.Duration) (lease.Lease, err
 	}
 	l.mu.Unlock()
 
-	gl := l.grantor.Grant(dur, func(id lease.ID) { l.expireLease(id) })
+	gl := l.grantor.GrantCtx(ctx, dur, func(id lease.ID) { l.expireLease(id) })
 
 	l.mu.Lock()
 	l.items[item.ID] = &entry{item: item, leaseID: gl.ID}
@@ -179,7 +192,7 @@ func (l *Lookup) Register(item ServiceItem, dur time.Duration) (lease.Lease, err
 
 	for _, w := range watchers {
 		events.Inc()
-		w.notify(Event{Kind: Added, Item: item})
+		w.notify(Event{Kind: Added, Item: item, Trace: sc})
 	}
 	return gl, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/event"
 	"repro/internal/lease"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -96,8 +97,8 @@ func NewServer(name string, lookup *Lookup, mux *transport.Mux, caller transport
 		subs:       make(map[string]string),
 	}
 
-	transport.Register(mux, MethodRegister, func(_ context.Context, req RegisterReq) (LeaseResp, error) {
-		l, err := lookup.Register(req.Item, time.Duration(req.DurMillis)*time.Millisecond)
+	transport.Register(mux, MethodRegister, func(ctx context.Context, req RegisterReq) (LeaseResp, error) {
+		l, err := lookup.RegisterCtx(ctx, req.Item, time.Duration(req.DurMillis)*time.Millisecond)
 		if err != nil {
 			return LeaseResp{}, err
 		}
@@ -140,7 +141,10 @@ func (s *Server) watch(req WatchReq) (WatchResp, error) {
 	var watchID string
 	watchID, _ = s.lookup.WatchFull(req.Tmpl, time.Duration(req.DurMillis)*time.Millisecond,
 		func(ev Event) {
-			_ = s.dispatcher.PublishTo(subID, "registry."+ev.Kind.String(), ev)
+			// Deliver under the registrant's span context so the watcher's
+			// reaction joins its trace.
+			ectx := trace.NewContext(context.Background(), ev.Trace)
+			_ = s.dispatcher.PublishToCtx(ectx, subID, "registry."+ev.Kind.String(), ev)
 		},
 		func() {
 			s.dispatcher.Cancel(subID)
@@ -166,16 +170,26 @@ type Client struct {
 }
 
 func (c *Client) ctx() (context.Context, context.CancelFunc) {
+	return c.ctxFrom(context.Background())
+}
+
+func (c *Client) ctxFrom(parent context.Context) (context.Context, context.CancelFunc) {
 	d := c.Timeout
 	if d <= 0 {
 		d = 2 * time.Second
 	}
-	return context.WithTimeout(context.Background(), d)
+	return context.WithTimeout(parent, d)
 }
 
 // Register advertises item.
 func (c *Client) Register(item ServiceItem, dur time.Duration) (lease.ID, error) {
-	ctx, cancel := c.ctx()
+	return c.RegisterCtx(context.Background(), item, dur)
+}
+
+// RegisterCtx is Register preserving the caller's context (and any span
+// context on it) so the registration joins an ongoing trace.
+func (c *Client) RegisterCtx(ctx context.Context, item ServiceItem, dur time.Duration) (lease.ID, error) {
+	ctx, cancel := c.ctxFrom(ctx)
 	defer cancel()
 	resp, err := transport.Invoke[RegisterReq, LeaseResp](ctx, c.Caller, c.Addr, MethodRegister,
 		RegisterReq{Item: item, DurMillis: dur.Milliseconds()})

@@ -397,7 +397,7 @@ func (c *caller) Call(ctx context.Context, to, method string, req, resp any) err
 	}
 
 	if herr != nil {
-		return &transport.RemoteError{Method: method, Msg: herr.Error()}
+		return transport.NewRemoteError(method, herr.Error())
 	}
 	if resp == nil {
 		return nil

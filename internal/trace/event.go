@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+)
+
+// Event is one entry in the structured event log: a point-in-time fact tied
+// to a component and, when the emitting code was inside a trace, a trace ID.
+type Event struct {
+	Seq        uint64
+	AtUnixNano int64
+	TraceID    string
+	Component  string
+	Msg        string
+}
+
+// Eventf appends a formatted event to the ring. If ctx carries a span
+// context the event is stamped with its trace ID. ctx may be nil. A nil
+// tracer is a no-op.
+func (t *Tracer) Eventf(ctx context.Context, component, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	at := t.nowNanos()
+	var traceID string
+	if sc, ok := FromContext(ctx); ok {
+		traceID = sc.TraceID
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.eventSeq++
+	ev := Event{
+		Seq:        t.eventSeq,
+		AtUnixNano: at,
+		TraceID:    traceID,
+		Component:  component,
+		Msg:        fmt.Sprintf(format, args...),
+	}
+	if t.events == nil {
+		t.events = make([]Event, 0, t.eventCap)
+	}
+	if len(t.events) < t.eventCap {
+		t.events = append(t.events, ev)
+	} else {
+		t.events[t.eventNext] = ev
+		t.eventFull = true
+	}
+	t.eventNext = (t.eventNext + 1) % t.eventCap
+}
+
+// EventFilter selects events; zero fields match everything.
+type EventFilter struct {
+	TraceID   string
+	Component string
+}
+
+func (f EventFilter) matches(e Event) bool {
+	if f.TraceID != "" && e.TraceID != f.TraceID {
+		return false
+	}
+	if f.Component != "" && e.Component != f.Component {
+		return false
+	}
+	return true
+}
+
+// Events returns buffered events matching f in sequence order.
+func (t *Tracer) Events(f EventFilter) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var ring []Event
+	if !t.eventFull {
+		ring = append(ring, t.events...)
+	} else {
+		ring = append(ring, t.events[t.eventNext:]...)
+		ring = append(ring, t.events[:t.eventNext]...)
+	}
+	t.mu.Unlock()
+	var out []Event
+	for _, e := range ring {
+		if f.matches(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Handler serves recorded spans as JSON. Query parameters:
+//
+//	q     — trace ID, extension name or node name (expands to whole traces)
+//	trace — exact trace ID filter
+//	name  — exact span name filter
+//
+// It is safe with a nil tracer (serves an empty list).
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var spans []SpanSnapshot
+		if q := r.URL.Query().Get("q"); q != "" {
+			spans = t.QuerySpans(q)
+		} else {
+			spans = t.Spans(Filter{
+				TraceID: r.URL.Query().Get("trace"),
+				Name:    r.URL.Query().Get("name"),
+			})
+		}
+		if spans == nil {
+			spans = []SpanSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	})
+}
+
+// EventsHandler serves the structured event log as JSON. Query parameters:
+//
+//	trace     — trace ID filter
+//	component — component filter
+func EventsHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		events := t.Events(EventFilter{
+			TraceID:   r.URL.Query().Get("trace"),
+			Component: r.URL.Query().Get("component"),
+		})
+		if events == nil {
+			events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+}
+
+// WriteText renders spans as per-trace trees, the shape midasctl prints.
+// Spans whose parent is absent (remote, or evicted from the ring) are shown
+// at the root level.
+func WriteText(w io.Writer, spans []SpanSnapshot) {
+	byTrace := make(map[string][]SpanSnapshot)
+	var order []string
+	for _, s := range spans {
+		if _, ok := byTrace[s.TraceID]; !ok {
+			order = append(order, s.TraceID)
+		}
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	for _, id := range order {
+		fmt.Fprintf(w, "trace %s\n", id)
+		group := byTrace[id]
+		children := make(map[string][]SpanSnapshot)
+		present := make(map[string]bool)
+		for _, s := range group {
+			present[s.SpanID] = true
+		}
+		var roots []SpanSnapshot
+		for _, s := range group {
+			if s.ParentID != "" && present[s.ParentID] {
+				children[s.ParentID] = append(children[s.ParentID], s)
+			} else {
+				roots = append(roots, s)
+			}
+		}
+		sortSpans(roots)
+		for k := range children {
+			sortSpans(children[k])
+		}
+		var walk func(s SpanSnapshot, depth int)
+		walk = func(s SpanSnapshot, depth int) {
+			for i := 0; i < depth; i++ {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "- %s", s.Name)
+			if d := s.Duration(); d > 0 {
+				fmt.Fprintf(w, " (%s)", d)
+			} else if s.EndUnixNano == 0 {
+				fmt.Fprint(w, " (open)")
+			}
+			if len(s.Tags) > 0 {
+				keys := make([]string, 0, len(s.Tags))
+				for k := range s.Tags {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(w, " %s=%s", k, s.Tags[k])
+				}
+			}
+			if s.Err != "" {
+				fmt.Fprintf(w, " err=%q", s.Err)
+			}
+			fmt.Fprintln(w)
+			for _, a := range s.Annotations {
+				for i := 0; i < depth+1; i++ {
+					fmt.Fprint(w, "  ")
+				}
+				fmt.Fprintf(w, "@ %s\n", a.Msg)
+			}
+			for _, c := range children[s.SpanID] {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range roots {
+			walk(r, 1)
+		}
+	}
+}
+
+// WriteEventsText renders events one per line for CLI output.
+func WriteEventsText(w io.Writer, events []Event) {
+	for _, e := range events {
+		at := time.Unix(0, e.AtUnixNano).UTC().Format("15:04:05.000")
+		if e.TraceID != "" {
+			fmt.Fprintf(w, "%s [%s] %s (trace %s)\n", at, e.Component, e.Msg, e.TraceID)
+		} else {
+			fmt.Fprintf(w, "%s [%s] %s\n", at, e.Component, e.Msg)
+		}
+	}
+}
+
+func sortSpans(s []SpanSnapshot) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].StartUnixNano != s[j].StartUnixNano {
+			return s[i].StartUnixNano < s[j].StartUnixNano
+		}
+		return s[i].SpanID < s[j].SpanID
+	})
+}

@@ -1,0 +1,379 @@
+// Package trace is a dependency-free distributed tracer for the MIDAS
+// lifecycle. It mints trace/span IDs from a seeded source (so a simnet run on
+// the manual clock is bit-for-bit reproducible), records spans in a bounded
+// in-memory ring with consistent snapshots, and keeps a structured event ring
+// (Eventf) for point-in-time facts that do not deserve a span.
+//
+// Like internal/metrics, every method is nil-safe: a nil *Tracer and a nil
+// *Span are no-ops, so libraries thread tracers through without nil checks.
+// Trace context crosses goroutines and the RPC fabric as a SpanContext value
+// carried in a context.Context (and, over TCP, in the request envelope).
+package trace
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SpanContext identifies a span within a trace. It is a plain value type so
+// the transport layer can gob-encode it inside request envelopes. The zero
+// value means "no trace".
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether sc refers to a real span.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sc. An invalid sc returns ctx unchanged.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context carried by ctx, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// Detach returns a fresh background context carrying only the span context of
+// ctx (if any). Use it when handing work to a goroutine that must outlive the
+// request but stay in its trace.
+func Detach(ctx context.Context) context.Context {
+	sc, ok := FromContext(ctx)
+	if !ok {
+		return context.Background()
+	}
+	return NewContext(context.Background(), sc)
+}
+
+// Annotation is a timestamped note attached to a span.
+type Annotation struct {
+	AtUnixNano int64
+	Msg        string
+}
+
+// SpanSnapshot is the immutable exported view of a span.
+type SpanSnapshot struct {
+	TraceID       string
+	SpanID        string
+	ParentID      string
+	Name          string
+	Tags          map[string]string
+	StartUnixNano int64
+	EndUnixNano   int64 // 0 while the span is still open
+	Err           string
+	Annotations   []Annotation
+}
+
+// Duration returns the span's elapsed time, or 0 if it has not ended.
+func (s SpanSnapshot) Duration() time.Duration {
+	if s.EndUnixNano == 0 {
+		return 0
+	}
+	return time.Duration(s.EndUnixNano - s.StartUnixNano)
+}
+
+// Span is a live span handle. All methods are nil-safe no-ops.
+type Span struct {
+	tr *Tracer
+
+	mu   sync.Mutex
+	snap SpanSnapshot
+}
+
+// Context returns the span's identity for propagation. A nil span returns the
+// zero SpanContext.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpanContext{TraceID: s.snap.TraceID, SpanID: s.snap.SpanID}
+}
+
+// Tag sets a key/value label on the span.
+func (s *Span) Tag(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap.Tags == nil {
+		s.snap.Tags = make(map[string]string)
+	}
+	s.snap.Tags[key] = value
+}
+
+// Annotatef appends a timestamped note to the span.
+func (s *Span) Annotatef(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	at := s.tr.nowNanos()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.Annotations = append(s.snap.Annotations, Annotation{AtUnixNano: at, Msg: fmt.Sprintf(format, args...)})
+}
+
+// End closes the span, recording err (nil for success). Ending twice keeps
+// the first end time.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	at := s.tr.nowNanos()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap.EndUnixNano != 0 {
+		return
+	}
+	s.snap.EndUnixNano = at
+	if err != nil {
+		s.snap.Err = err.Error()
+	}
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.snap
+	if s.snap.Tags != nil {
+		out.Tags = make(map[string]string, len(s.snap.Tags))
+		for k, v := range s.snap.Tags {
+			out.Tags[k] = v
+		}
+	}
+	if s.snap.Annotations != nil {
+		out.Annotations = append([]Annotation(nil), s.snap.Annotations...)
+	}
+	return out
+}
+
+// Default ring capacities; override with SetCapacity before use.
+const (
+	DefaultSpanCapacity  = 4096
+	DefaultEventCapacity = 2048
+)
+
+// Tracer mints IDs, records spans and buffers events. The zero value is not
+// usable; construct with New. A nil *Tracer is a no-op everywhere.
+type Tracer struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	rng       *rand.Rand
+	spans     []*Span // ring: oldest at spanNext when full
+	spanNext  int
+	spanFull  bool
+	dropped   uint64
+	events    []Event // ring, same scheme
+	eventNext int
+	eventFull bool
+	eventSeq  uint64
+	spanCap   int
+	eventCap  int
+}
+
+// New returns a tracer whose IDs are minted from seed. Daemons seed from the
+// wall clock; deterministic tests pass a fixed seed so replayed runs mint
+// identical IDs.
+func New(seed int64) *Tracer {
+	return &Tracer{
+		now:      time.Now,
+		rng:      rand.New(rand.NewSource(seed)),
+		spanCap:  DefaultSpanCapacity,
+		eventCap: DefaultEventCapacity,
+	}
+}
+
+// SetNow replaces the tracer's time source (e.g. a manual clock's Now).
+// Call before the tracer is shared. A nil tracer or nil now is a no-op.
+func (t *Tracer) SetNow(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+}
+
+// SetCapacity bounds the span and event rings. Values < 1 keep the current
+// capacity. Existing contents are discarded.
+func (t *Tracer) SetCapacity(spans, events int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if spans > 0 {
+		t.spanCap = spans
+	}
+	if events > 0 {
+		t.eventCap = events
+	}
+	t.spans, t.spanNext, t.spanFull = nil, 0, false
+	t.events, t.eventNext, t.eventFull = nil, 0, false
+}
+
+func (t *Tracer) nowNanos() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	now := t.now
+	t.mu.Unlock()
+	return now().UnixNano()
+}
+
+// StartSpan opens a span named name. If ctx carries a span context the new
+// span joins that trace as a child; otherwise it roots a new trace. It
+// returns a derived context carrying the new span (for propagation) and the
+// span handle. On a nil tracer it returns (ctx, nil) — both safe to use.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent, _ := FromContext(ctx)
+
+	t.mu.Lock()
+	traceID := parent.TraceID
+	if traceID == "" {
+		traceID = fmt.Sprintf("%016x%016x", t.rng.Uint64(), t.rng.Uint64())
+	}
+	spanID := fmt.Sprintf("%016x", t.rng.Uint64())
+	now := t.now
+	t.mu.Unlock()
+
+	sp := &Span{tr: t}
+	sp.snap = SpanSnapshot{
+		TraceID:       traceID,
+		SpanID:        spanID,
+		ParentID:      parent.SpanID,
+		Name:          name,
+		StartUnixNano: now().UnixNano(),
+	}
+
+	t.mu.Lock()
+	if t.spans == nil {
+		t.spans = make([]*Span, 0, t.spanCap)
+	}
+	if len(t.spans) < t.spanCap {
+		t.spans = append(t.spans, sp)
+	} else {
+		t.spans[t.spanNext] = sp
+		t.spanFull = true
+		t.dropped++
+	}
+	t.spanNext = (t.spanNext + 1) % t.spanCap
+	t.mu.Unlock()
+
+	return NewContext(ctx, sp.Context()), sp
+}
+
+// SpansDropped reports how many spans were evicted from the ring.
+func (t *Tracer) SpansDropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Filter selects spans. Zero fields match everything; Tags entries must all
+// match the span's tags.
+type Filter struct {
+	TraceID string
+	Name    string
+	Tags    map[string]string
+}
+
+func (f Filter) matches(s SpanSnapshot) bool {
+	if f.TraceID != "" && s.TraceID != f.TraceID {
+		return false
+	}
+	if f.Name != "" && s.Name != f.Name {
+		return false
+	}
+	for k, v := range f.Tags {
+		if s.Tags[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Spans returns a consistent snapshot of recorded spans matching f, oldest
+// first.
+func (t *Tracer) Spans(f Filter) []SpanSnapshot {
+	live := t.liveSpans()
+	var out []SpanSnapshot
+	for _, sp := range live {
+		snap := sp.snapshot()
+		if f.matches(snap) {
+			out = append(out, snap)
+		}
+	}
+	return out
+}
+
+// liveSpans copies the ring contents (oldest first) under the tracer lock.
+func (t *Tracer) liveSpans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.spanFull {
+		return append([]*Span(nil), t.spans...)
+	}
+	out := make([]*Span, 0, len(t.spans))
+	out = append(out, t.spans[t.spanNext:]...)
+	out = append(out, t.spans[:t.spanNext]...)
+	return out
+}
+
+// QuerySpans resolves q — a trace ID, an extension name, or a node name —
+// into the full set of spans of every trace it touches. An empty q returns
+// every span.
+func (t *Tracer) QuerySpans(q string) []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	all := t.Spans(Filter{})
+	if q == "" {
+		return all
+	}
+	ids := make(map[string]bool)
+	for _, s := range all {
+		if s.TraceID == q || s.Tags["ext"] == q || s.Tags["node"] == q {
+			ids[s.TraceID] = true
+		}
+	}
+	var out []SpanSnapshot
+	for _, s := range all {
+		if ids[s.TraceID] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

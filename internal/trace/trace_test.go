@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety mirrors the metrics package's nil-safety contract: a nil
+// *Tracer and a nil *Span must be usable no-ops so libraries never nil-check.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartSpan(context.Background(), "noop")
+	if ctx == nil {
+		t.Fatal("nil tracer returned nil ctx")
+	}
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	sp.Tag("k", "v")
+	sp.Annotatef("note %d", 1)
+	sp.End(errors.New("boom"))
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatalf("nil span context should be invalid, got %+v", sc)
+	}
+	tr.Eventf(ctx, "comp", "event %d", 1)
+	tr.SetNow(time.Now)
+	tr.SetCapacity(10, 10)
+	if got := tr.Spans(Filter{}); got != nil {
+		t.Fatalf("nil tracer Spans = %v, want nil", got)
+	}
+	if got := tr.Events(EventFilter{}); got != nil {
+		t.Fatalf("nil tracer Events = %v, want nil", got)
+	}
+	if got := tr.QuerySpans("x"); got != nil {
+		t.Fatalf("nil tracer QuerySpans = %v, want nil", got)
+	}
+	if tr.SpansDropped() != 0 {
+		t.Fatal("nil tracer SpansDropped != 0")
+	}
+}
+
+func TestSpanParentChildAndContext(t *testing.T) {
+	tr := New(1)
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	root.Tag("node", "n1")
+	cctx, child := tr.StartSpan(ctx, "child")
+	child.End(nil)
+	root.End(nil)
+
+	rsc := root.Context()
+	csc := child.Context()
+	if !rsc.Valid() || !csc.Valid() {
+		t.Fatal("span contexts should be valid")
+	}
+	if rsc.TraceID != csc.TraceID {
+		t.Fatalf("child trace %s != root trace %s", csc.TraceID, rsc.TraceID)
+	}
+	if got, ok := FromContext(cctx); !ok || got != csc {
+		t.Fatalf("FromContext = %+v, want %+v", got, csc)
+	}
+	spans := tr.Spans(Filter{})
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[1].ParentID != rsc.SpanID {
+		t.Fatalf("child parent %s, want %s", spans[1].ParentID, rsc.SpanID)
+	}
+	if spans[0].Tags["node"] != "n1" {
+		t.Fatalf("root tags = %v", spans[0].Tags)
+	}
+	if spans[1].EndUnixNano == 0 {
+		t.Fatal("child should be ended")
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	mint := func() []SpanSnapshot {
+		tr := New(42)
+		tr.SetNow(func() time.Time { return time.Unix(0, 12345) })
+		ctx, a := tr.StartSpan(context.Background(), "a")
+		_, b := tr.StartSpan(ctx, "b")
+		b.End(nil)
+		a.End(nil)
+		return tr.Spans(Filter{})
+	}
+	if got, want := mint(), mint(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("same seed minted different spans:\n%v\n%v", got, want)
+	}
+	other := New(43)
+	_, sp := other.StartSpan(context.Background(), "a")
+	if sp.Context().TraceID == mint()[0].TraceID {
+		t.Fatal("different seeds minted identical trace IDs")
+	}
+}
+
+func TestSpanRingBounds(t *testing.T) {
+	tr := New(7)
+	tr.SetCapacity(4, 4)
+	var last SpanContext
+	for i := 0; i < 10; i++ {
+		_, sp := tr.StartSpan(context.Background(), "s")
+		sp.End(nil)
+		last = sp.Context()
+	}
+	spans := tr.Spans(Filter{})
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	if spans[3].SpanID != last.SpanID {
+		t.Fatal("newest span missing from ring")
+	}
+	if tr.SpansDropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.SpansDropped())
+	}
+}
+
+func TestEventRingOrderAndFilter(t *testing.T) {
+	tr := New(7)
+	tr.SetCapacity(16, 3)
+	ctx, sp := tr.StartSpan(context.Background(), "s")
+	for i := 0; i < 5; i++ {
+		if i%2 == 0 {
+			tr.Eventf(ctx, "lease", "ev %d", i)
+		} else {
+			tr.Eventf(nil, "disc", "ev %d", i)
+		}
+	}
+	sp.End(nil)
+	events := tr.Events(EventFilter{})
+	if len(events) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events out of order: %v", events)
+		}
+	}
+	if events[2].Msg != "ev 4" || events[2].TraceID != sp.Context().TraceID {
+		t.Fatalf("newest event wrong: %+v", events[2])
+	}
+	byComp := tr.Events(EventFilter{Component: "lease"})
+	for _, e := range byComp {
+		if e.Component != "lease" {
+			t.Fatalf("component filter leaked %+v", e)
+		}
+	}
+	byTrace := tr.Events(EventFilter{TraceID: sp.Context().TraceID})
+	if len(byTrace) == 0 {
+		t.Fatal("trace filter found nothing")
+	}
+}
+
+func TestQuerySpansExpandsTraces(t *testing.T) {
+	tr := New(9)
+	ctx, root := tr.StartSpan(context.Background(), "base.push")
+	root.Tag("ext", "plotter-guard")
+	_, child := tr.StartSpan(ctx, "rpc.call")
+	child.End(nil)
+	root.End(nil)
+	_, other := tr.StartSpan(context.Background(), "unrelated")
+	other.End(nil)
+
+	got := tr.QuerySpans("plotter-guard")
+	if len(got) != 2 {
+		t.Fatalf("query by ext got %d spans, want the full 2-span trace", len(got))
+	}
+	byID := tr.QuerySpans(root.Context().TraceID)
+	if len(byID) != 2 {
+		t.Fatalf("query by trace ID got %d spans, want 2", len(byID))
+	}
+	if all := tr.QuerySpans(""); len(all) != 3 {
+		t.Fatalf("empty query got %d spans, want all 3", len(all))
+	}
+}
+
+func TestConcurrentSpansAndSnapshots(t *testing.T) {
+	tr := New(3)
+	tr.SetCapacity(64, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ctx, sp := tr.StartSpan(context.Background(), "w")
+				sp.Tag("k", "v")
+				tr.Eventf(ctx, "c", "e")
+				sp.End(nil)
+				tr.Spans(Filter{Name: "w"})
+				tr.Events(EventFilter{})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	tr := New(5)
+	ctx, sp := tr.StartSpan(context.Background(), "ext.install")
+	sp.Tag("ext", "e1")
+	tr.Eventf(ctx, "lease", "grant")
+	sp.End(nil)
+
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/trace?q=e1", nil))
+	if !strings.Contains(rec.Body.String(), "ext.install") {
+		t.Fatalf("/trace missing span: %s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	EventsHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/events?component=lease", nil))
+	if !strings.Contains(rec.Body.String(), "grant") {
+		t.Fatalf("/events missing event: %s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("nil tracer /trace = %q, want []", rec.Body.String())
+	}
+}
+
+func TestWriteTextTree(t *testing.T) {
+	tr := New(11)
+	ctx, root := tr.StartSpan(context.Background(), "base.adapt")
+	root.Tag("node", "n1")
+	_, child := tr.StartSpan(ctx, "base.push")
+	child.Annotatef("retrying")
+	child.End(errors.New("lost"))
+	root.End(nil)
+
+	var b strings.Builder
+	WriteText(&b, tr.Spans(Filter{}))
+	out := b.String()
+	for _, want := range []string{"trace ", "- base.adapt", "  - base.push", "@ retrying", `err="lost"`, "node=n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	var eb strings.Builder
+	tr.Eventf(nil, "weave", "inserted")
+	WriteEventsText(&eb, tr.Events(EventFilter{}))
+	if !strings.Contains(eb.String(), "[weave] inserted") {
+		t.Fatalf("WriteEventsText output: %s", eb.String())
+	}
+}
+
+func TestDetach(t *testing.T) {
+	tr := New(13)
+	ctx, sp := tr.StartSpan(context.Background(), "s")
+	type key struct{}
+	ctx = context.WithValue(ctx, key{}, "payload")
+	d := Detach(ctx)
+	if sc, ok := FromContext(d); !ok || sc != sp.Context() {
+		t.Fatal("Detach lost span context")
+	}
+	if d.Value(key{}) != nil {
+		t.Fatal("Detach kept unrelated values")
+	}
+	if d := Detach(context.Background()); d == nil {
+		t.Fatal("Detach of plain ctx returned nil")
+	}
+	sp.End(nil)
+}

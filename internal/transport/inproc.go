@@ -187,7 +187,7 @@ func (c *inprocCaller) Call(ctx context.Context, to, method string, req, resp an
 	}
 	out, err := h.Handle(ctx, method, body)
 	if err != nil {
-		return &RemoteError{Method: method, Msg: err.Error()}
+		return NewRemoteError(method, err.Error())
 	}
 	if fm != nil {
 		fm.bytesIn.Add(uint64(len(out)))

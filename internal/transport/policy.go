@@ -5,11 +5,13 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Policy is a retry/timeout/backoff policy for RPC calls over lossy mobile
@@ -49,8 +51,9 @@ type Policy struct {
 	// RetryTransient).
 	RetryIf func(error) bool
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu     sync.Mutex
+	rng    *rand.Rand
+	tracer *trace.Tracer
 
 	m policyMetrics
 }
@@ -89,6 +92,27 @@ func (p *Policy) Instrument(reg *metrics.Registry) {
 		giveups:   reg.Counter("transport.retry_giveups"),
 		successes: reg.Counter("transport.retry_successes"),
 	}
+}
+
+// Trace makes callers wrapped by this policy open an "rpc.attempt" child
+// span per attempt, so retries show up individually inside a traced call. A
+// nil policy or nil tracer is a no-op.
+func (p *Policy) Trace(tr *trace.Tracer) {
+	if p == nil || tr == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = tr
+}
+
+func (p *Policy) traceRef() *trace.Tracer {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tracer
 }
 
 // RetryTransient reports whether err is a transport-level failure worth
@@ -214,9 +238,20 @@ type retryCaller struct {
 	inner Caller
 }
 
-// Call implements Caller.
+// Call implements Caller. With a tracer installed (Policy.Trace), each
+// attempt — including the first — runs in its own "rpc.attempt" child span so
+// retries are visible as siblings under the logical call.
 func (r *retryCaller) Call(ctx context.Context, to, method string, req, resp any) error {
+	tr := r.pol.traceRef()
+	attempt := 0
 	return r.pol.Do(ctx, func(ctx context.Context) error {
-		return r.inner.Call(ctx, to, method, req, resp)
+		attempt++
+		actx, sp := tr.StartSpan(ctx, "rpc.attempt")
+		sp.Tag("method", method)
+		sp.Tag("to", to)
+		sp.Tag("attempt", strconv.Itoa(attempt))
+		err := r.inner.Call(actx, to, method, req, resp)
+		sp.End(err)
+		return err
 	})
 }

@@ -10,12 +10,17 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
-// wire envelope types.
+// wire envelope types. Trace carries the caller's span context so a trace
+// stitches across processes; gob tolerates the field being absent (older
+// peers) or unknown (newer peers), so the envelope stays wire-compatible in
+// both directions.
 type tcpRequest struct {
 	Method string
 	Body   []byte
+	Trace  trace.SpanContext
 }
 
 type tcpResponse struct {
@@ -145,7 +150,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			sm.bytesIn.Add(uint64(len(req.Body)))
 			start = time.Now()
 		}
-		body, err := s.handler.Handle(context.Background(), req.Method, req.Body)
+		body, err := s.handler.Handle(trace.NewContext(context.Background(), req.Trace), req.Method, req.Body)
 		resp := tcpResponse{Body: body}
 		if err != nil {
 			resp.Err = err.Error()
@@ -232,8 +237,9 @@ func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) 
 		}
 	}()
 	fm := c.m.Load()
+	sc, _ := trace.FromContext(ctx)
 	callErr := func() error {
-		if err := cc.enc.Encode(&tcpRequest{Method: method, Body: body}); err != nil {
+		if err := cc.enc.Encode(&tcpRequest{Method: method, Body: body, Trace: sc}); err != nil {
 			return err
 		}
 		if fm != nil {
@@ -247,7 +253,7 @@ func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) 
 			fm.bytesIn.Add(uint64(len(out.Body)))
 		}
 		if out.Err != "" {
-			return &RemoteError{Method: method, Msg: out.Err}
+			return NewRemoteError(method, out.Err)
 		}
 		if resp == nil {
 			return nil

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"context"
+
+	"repro/internal/trace"
+)
+
+// TraceCalls wraps c so every outbound call runs inside an "rpc.call" span
+// (tags: method, to) whose context rides the fabric to the remote handler. A
+// nil tracer returns c unchanged.
+func TraceCalls(c Caller, tr *trace.Tracer) Caller {
+	if tr == nil {
+		return c
+	}
+	return &tracedCaller{inner: c, tr: tr}
+}
+
+type tracedCaller struct {
+	inner Caller
+	tr    *trace.Tracer
+}
+
+// Call implements Caller.
+func (t *tracedCaller) Call(ctx context.Context, to, method string, req, resp any) error {
+	ctx, sp := t.tr.StartSpan(ctx, "rpc.call")
+	sp.Tag("method", method)
+	sp.Tag("to", to)
+	err := t.inner.Call(ctx, to, method, req, resp)
+	sp.End(err)
+	return err
+}
+
+// TraceHandling wraps h so every served request runs inside an "rpc.serve"
+// span (tags: method, and node if non-empty), parented to whatever span
+// context arrived with the request. A nil tracer returns h unchanged.
+func TraceHandling(h Handler, tr *trace.Tracer, node string) Handler {
+	if tr == nil {
+		return h
+	}
+	return &tracedHandler{inner: h, tr: tr, node: node}
+}
+
+type tracedHandler struct {
+	inner Handler
+	tr    *trace.Tracer
+	node  string
+}
+
+// Handle implements Handler.
+func (t *tracedHandler) Handle(ctx context.Context, method string, body []byte) ([]byte, error) {
+	ctx, sp := t.tr.StartSpan(ctx, "rpc.serve")
+	sp.Tag("method", method)
+	if t.node != "" {
+		sp.Tag("node", t.node)
+	}
+	out, err := t.inner.Handle(ctx, method, body)
+	sp.End(err)
+	return out, err
+}

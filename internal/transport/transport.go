@@ -12,6 +12,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -34,15 +35,77 @@ var (
 	ErrNoMethod = errors.New("transport: no such method")
 )
 
-// RemoteError wraps an error string returned by the remote handler.
+// RemoteError wraps an error string returned by the remote handler. When the
+// remote message matches a registered sentinel (see RegisterRemoteSentinel),
+// Unwrap exposes it so errors.Is behaves identically whether the error
+// crossed a process boundary or not.
 type RemoteError struct {
 	Method string
 	Msg    string
+
+	sentinel error
 }
 
 // Error implements error.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// Unwrap exposes the sentinel recovered from the remote message, if any.
+func (e *RemoteError) Unwrap() error { return e.sentinel }
+
+// NewRemoteError builds the error a fabric reports for a remote handler
+// failure, mapping well-known sentinel texts back to their sentinels. Every
+// fabric (in-proc, TCP, simnet) constructs remote errors through this so
+// errors.Is(err, ErrNoMethod) etc. hold on all of them.
+func NewRemoteError(method, msg string) *RemoteError {
+	return &RemoteError{Method: method, Msg: msg, sentinel: matchRemoteSentinel(msg)}
+}
+
+var (
+	sentinelMu sync.RWMutex
+	sentinels  = []error{ErrNoMethod}
+)
+
+// RegisterRemoteSentinel adds sentinel errors that should survive a trip over
+// the wire: a remote error whose message contains a registered sentinel's
+// text unwraps to that sentinel. Packages register their wire-visible
+// sentinels at init (e.g. lease.ErrExpired), keeping the transport layer free
+// of upward dependencies.
+func RegisterRemoteSentinel(errs ...error) {
+	sentinelMu.Lock()
+	defer sentinelMu.Unlock()
+	for _, err := range errs {
+		if err == nil || err.Error() == "" {
+			continue
+		}
+		dup := false
+		for _, have := range sentinels {
+			if have == err {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sentinels = append(sentinels, err)
+		}
+	}
+}
+
+// matchRemoteSentinel finds the registered sentinel whose text appears in
+// msg, preferring the longest match so more specific sentinels win.
+func matchRemoteSentinel(msg string) error {
+	sentinelMu.RLock()
+	defer sentinelMu.RUnlock()
+	var best error
+	bestLen := 0
+	for _, s := range sentinels {
+		text := s.Error()
+		if len(text) > bestLen && strings.Contains(msg, text) {
+			best, bestLen = s, len(text)
+		}
+	}
+	return best
 }
 
 // Encode gob-encodes v.

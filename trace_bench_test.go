@@ -1,0 +1,83 @@
+// Benchmarks for the tracing layer. The acceptance bar: with tracing enabled
+// but no span on the path, the weave hot path (one atomic load per inactive
+// join point) must not regress measurably — tracing touches only the weaver's
+// insert/withdraw/replace control plane, never dispatch. The span arms price
+// the control-plane cost itself.
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/aop"
+	"repro/internal/trace"
+	"repro/internal/weave"
+)
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	arms := []struct {
+		name string
+		tr   *trace.Tracer
+	}{
+		{"trace-off", nil},
+		{"trace-on", trace.New(1)},
+	}
+	for _, arm := range arms {
+		w := weave.New()
+		w.Trace(arm.tr)
+		idle := w.RegisterMethodSite(aop.MethodEntry,
+			aop.Signature{Class: "Idle", Method: "m", Return: "void"})
+		hot := w.RegisterMethodSite(aop.MethodEntry,
+			aop.Signature{Class: "Hot", Method: "m", Return: "void"})
+		if err := w.Insert(&aop.Aspect{Name: "noop", Advices: []aop.Advice{
+			aop.BeforeCall("Hot.m(..)", aop.BodyFunc(func(*aop.Context) error { return nil })),
+		}}); err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run("fast-path/"+arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if idle.Active() {
+					b.Fatal("idle site became active")
+				}
+			}
+		})
+		b.Run("dispatch/"+arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ctx := weave.GetContext()
+				ctx.Kind = aop.MethodEntry
+				ctx.Sig = hot.Sig
+				if err := hot.Dispatch(ctx); err != nil {
+					b.Fatal(err)
+				}
+				weave.PutContext(ctx)
+			}
+		})
+	}
+
+	// Control-plane costs: what a span or event actually costs when recorded.
+	tr := trace.New(1)
+	b.Run("span-start-end", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := tr.StartSpan(context.Background(), "bench")
+			sp.End(nil)
+		}
+	})
+	b.Run("eventf", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Eventf(nil, "bench", "event %d", i)
+		}
+	})
+	b.Run("span-start-end/nil-tracer", func(b *testing.B) {
+		var off *trace.Tracer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := off.StartSpan(context.Background(), "bench")
+			sp.End(nil)
+		}
+	})
+}
