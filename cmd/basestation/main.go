@@ -6,9 +6,13 @@
 // Usage:
 //
 //	basestation -addr 127.0.0.1:7000 -store movements.log -keyfile base.pub \
-//	    -ext hwmonitor -ext 'accesscontrol:allow=operator'
+//	    -state-dir /var/lib/midas/base -ext hwmonitor -ext 'accesscontrol:allow=operator'
 //
 // The signing public key is written to -keyfile; nodes pass it via -trustkey.
+// With -state-dir, adapted nodes and lease grants are journalled and a
+// restarted base resumes its renewals instead of starting blank; -reconcile
+// sets the anti-entropy period and -breaker-threshold/-breaker-cooldown tune
+// the per-node circuit breaker.
 package main
 
 import (
@@ -58,6 +62,10 @@ func run() error {
 		leaseDur  = flag.Duration("lease", 10*time.Second, "extension lease duration")
 		httpAddr  = flag.String("http", "127.0.0.1:8001", "metrics/health HTTP address (empty disables)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
+		stateDir  = flag.String("state-dir", "", "directory for the durable lifecycle journal (empty = no crash recovery)")
+		reconcile = flag.Duration("reconcile", 30*time.Second, "anti-entropy reconciliation period (0 disables)")
+		brkThresh = flag.Int("breaker-threshold", 3, "consecutive failures before a node's circuit opens")
+		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "circuit open time before a half-open probe")
 		exts      extFlags
 	)
 	flag.Var(&exts, "ext", "extension preset, repeatable: hwmonitor | logger | accesscontrol:allow=a,b")
@@ -96,13 +104,29 @@ func run() error {
 	lookupSrv := registry.NewServer(*name+"/lookup", lookup, mux, caller, clock.Real{})
 	defer lookupSrv.Close()
 
+	var journal *core.BaseJournal
+	if *stateDir != "" {
+		journal, err = core.OpenBaseJournal(*stateDir)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+	breaker := transport.NewBreakerSet(time.Now().UnixNano(), transport.BreakerConfig{
+		Threshold: *brkThresh,
+		Cooldown:  *brkCool,
+	})
+
 	base, err := core.NewBase(core.BaseConfig{
-		Name:     *name,
-		Addr:     *addr,
-		Caller:   caller,
-		Signer:   signer,
-		Store:    db,
-		LeaseDur: *leaseDur,
+		Name:           *name,
+		Addr:           *addr,
+		Caller:         caller,
+		Signer:         signer,
+		Store:          db,
+		LeaseDur:       *leaseDur,
+		Journal:        journal,
+		Breaker:        breaker,
+		ReconcileEvery: *reconcile,
 	})
 	if err != nil {
 		return err
@@ -135,6 +159,16 @@ func run() error {
 		log.Printf("extension in policy set: %s", e.Name)
 	}
 
+	if journal != nil {
+		restored, err := base.Recover()
+		if err != nil {
+			return fmt.Errorf("recover from %s: %w", *stateDir, err)
+		}
+		if restored > 0 {
+			log.Printf("recovered %d node(s) from the state journal; renewals resumed", restored)
+		}
+	}
+
 	srv, err := transport.ServeTCP(*addr, transport.TraceHandling(mux, tracer, *name))
 	if err != nil {
 		return err
@@ -151,6 +185,12 @@ func run() error {
 				return err
 			}
 			return conn.Close()
+		})
+		health.Register("nodes", func() error {
+			if d := base.Degraded(); len(d) > 0 {
+				return fmt.Errorf("%d node(s) degraded: %s", len(d), strings.Join(d, ", "))
+			}
+			return nil
 		})
 		mounts := []metrics.Mount{
 			{Pattern: "/trace", Handler: trace.Handler(tracer)},

@@ -10,14 +10,17 @@
 //	midasctl -node 127.0.0.1:7101 trace [ext|node|traceID]
 //	midasctl -lookup 127.0.0.1:7000 services
 //	midasctl -base 127.0.0.1:7000 records [robot]
+//	midasctl -base 127.0.0.1:7000 status
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -43,7 +46,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: list | revoke <name> | metrics | trace [query] | services | records [robot]")
+		return fmt.Errorf("need a subcommand: list | revoke <name> | metrics | trace [query] | services | records [robot] | status")
 	}
 
 	caller := transport.NewTCPCaller()
@@ -146,8 +149,62 @@ func run() error {
 			fmt.Printf("%6d  %-14s %-10s %-12s %6d  at %d\n", r.Seq, r.Robot, r.Device, r.Action, r.Value, r.AtMillis)
 		}
 		fmt.Printf("%d records\n", len(resp.Records))
+	case "status":
+		if *baseAddr == "" {
+			return fmt.Errorf("status needs -base")
+		}
+		resp, err := transport.Invoke[core.EmptyResp, core.BaseStatusResp](ctx, caller, *baseAddr, core.MethodBaseStatus, core.EmptyResp{})
+		if err != nil {
+			return err
+		}
+		writeStatus(os.Stdout, resp)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
 	return nil
+}
+
+// writeStatus renders a base status report: policy set, one row per node with
+// its circuit state and last reconcile outcome, and the drift totals.
+func writeStatus(w io.Writer, st core.BaseStatusResp) {
+	fmt.Fprintf(w, "base %s at %s\n", st.Name, st.Addr)
+	fmt.Fprintf(w, "policy set: %s\n", strings.Join(st.Extensions, ", "))
+	if len(st.Nodes) == 0 {
+		fmt.Fprintln(w, "no nodes")
+	}
+	for _, n := range st.Nodes {
+		fmt.Fprintf(w, "%-16s %-10s breaker=%-9s exts=[%s]\n",
+			n.Addr, n.State, n.Breaker, strings.Join(n.Exts, ", "))
+		fmt.Fprintf(w, "%16s last reconcile: %s\n", "", reconcileSummary(n.LastReconcile))
+	}
+	fmt.Fprintf(w, "drift: rounds=%d repushes=%d orphans=%d adopts=%d errors=%d\n",
+		st.Drift.Rounds, st.Drift.Repushes, st.Drift.Orphans, st.Drift.Adopts, st.Drift.Errors)
+}
+
+func reconcileSummary(r core.ReconcileResult) string {
+	if r.AtMillis == 0 {
+		return "never"
+	}
+	at := time.UnixMilli(r.AtMillis).Format(time.RFC3339)
+	switch {
+	case r.Err != "":
+		return fmt.Sprintf("%s error: %s", at, r.Err)
+	case r.InSync:
+		return at + " in sync"
+	default:
+		out := at
+		if r.Promoted {
+			out += " promoted"
+		}
+		if len(r.Repushed) > 0 {
+			out += fmt.Sprintf(" repushed=%v", r.Repushed)
+		}
+		if len(r.Revoked) > 0 {
+			out += fmt.Sprintf(" revoked=%v", r.Revoked)
+		}
+		if len(r.Adopted) > 0 {
+			out += fmt.Sprintf(" adopted=%v", r.Adopted)
+		}
+		return out
+	}
 }

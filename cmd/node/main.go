@@ -8,6 +8,10 @@
 //
 //	node -name plotter-1 -addr 127.0.0.1:0 -lookup 127.0.0.1:7000 -trustkey base.pub
 //
+// With -state-dir the node journals its installed extensions and lease
+// deadlines, and a restart re-weaves whatever leases are still live (anything
+// that lapsed while the node was down is withdrawn immediately on replay).
+//
 // Pass -faults (with an optional -seed) to inject reproducible loss, latency
 // and duplication into the node's outbound calls, e.g.
 //
@@ -56,6 +60,7 @@ func run() error {
 		lookup   = flag.String("lookup", "127.0.0.1:7000", "lookup service address")
 		trustKey = flag.String("trustkey", "", "file with a trusted signer public key (hex)")
 		kvPath   = flag.String("kv", "", "node KV journal for persistence extensions (empty = in-memory)")
+		stateDir = flag.String("state-dir", "", "directory for the durable adaptation journal (empty = no crash recovery)")
 		httpAddr = flag.String("http", "127.0.0.1:8101", "metrics/health HTTP address (empty disables)")
 		faults   = flag.String("faults", "", "inject outbound faults, e.g. loss=0.1,dup=0.05,latmax=50ms (empty disables)")
 		seed     = flag.Int64("seed", 1, "fault-injection RNG seed (used with -faults)")
@@ -132,6 +137,15 @@ func run() error {
 	}
 	defer srv.Close()
 
+	var journal *core.ReceiverJournal
+	if *stateDir != "" {
+		journal, err = core.OpenReceiverJournal(*stateDir)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+
 	receiver, err := core.NewReceiver(core.ReceiverConfig{
 		NodeName: *name,
 		Addr:     srv.Addr(),
@@ -141,6 +155,7 @@ func run() error {
 		Host:     host,
 		Builtins: builtins,
 		Extras:   map[string]any{ext.ExtraTxnManager: txn.NewManager(kv)},
+		Journal:  journal,
 	})
 	if err != nil {
 		return err
@@ -158,6 +173,17 @@ func run() error {
 	receiver.ServeOn(mux)
 	receiver.Grantor().Start(time.Second)
 	defer receiver.Grantor().Stop()
+
+	if journal != nil {
+		// A damaged journal must not keep the node down: start empty and
+		// let the base's reconciliation re-push what belongs here.
+		restored, err := receiver.Recover()
+		if err != nil {
+			log.Printf("warning: recover from %s: %v (starting empty)", *stateDir, err)
+		} else if restored > 0 {
+			log.Printf("recovered %d extension(s) from the state journal", restored)
+		}
+	}
 
 	log.Printf("node %s serving on %s", *name, srv.Addr())
 

@@ -71,13 +71,28 @@ type BaseConfig struct {
 	// roaming hints) through retry-with-backoff. Retried installs/revokes are
 	// safe: the receiver wire surface is idempotent.
 	Policy *transport.Policy
+	// Breaker, when set, wraps the outgoing caller (outside Policy, so an open
+	// circuit fast-fails before any retry budget is spent) with per-node
+	// circuit breaking. A node whose circuit is open when its renewals fail is
+	// marked degraded and reconciled — not blindly re-pushed — when it
+	// returns.
+	Breaker *transport.BreakerSet
+	// Journal, when set, checkpoints the base's distribution state (adapted
+	// nodes, pushed extensions, lease deadlines) so Recover can resume
+	// renewals after a crash.
+	Journal *BaseJournal
+	// ReconcileEvery, when > 0, runs the anti-entropy reconciler periodically:
+	// every adapted or degraded node's inventory is diffed against the policy
+	// set, missing extensions re-pushed, orphans revoked and receiver lease
+	// deadlines adopted.
+	ReconcileEvery time.Duration
 }
 
 // BaseActivity is one entry of the base's distribution log (§3.2: each base
 // keeps track of what nodes were adapted, at what point in time).
 type BaseActivity struct {
 	AtMillis int64
-	Event    string // "adapt", "push", "depart", "revoke", "roam-hint", "roam-adopt"
+	Event    string // "adapt", "push", "depart", "revoke", "roam-hint", "roam-adopt", "degrade", "recover", "reconcile"
 	Node     string
 	Ext      string
 	Detail   string
@@ -90,6 +105,27 @@ type adaptedNode struct {
 	// spanCtxs remembers, per extension, the span under which the push
 	// succeeded, so later renewals and revokes join the install's trace.
 	spanCtxs map[string]trace.SpanContext
+	// grants mirrors the lease state per pushed extension; it is what the
+	// journal checkpoints, so deadlines are absolute.
+	grants map[string]grantInfo
+}
+
+// grantInfo is the base's view of one pushed extension's lease.
+type grantInfo struct {
+	version  int
+	leaseID  lease.ID
+	dur      time.Duration
+	deadline time.Time
+}
+
+func newAdaptedNode(id, addr string) *adaptedNode {
+	return &adaptedNode{
+		id:       id,
+		addr:     addr,
+		renewers: make(map[string]*lease.Renewer),
+		spanCtxs: make(map[string]trace.SpanContext),
+		grants:   make(map[string]grantInfo),
+	}
 }
 
 // Base is a MIDAS extension base: it holds the extension set of one
@@ -102,11 +138,20 @@ type Base struct {
 	mu         sync.Mutex
 	extensions []Extension
 	adapted    map[string]*adaptedNode // by node addr
-	neighbors  []string
-	activity   []BaseActivity
-	reg        *metrics.Registry
-	m          baseMetrics
-	tracer     *trace.Tracer
+	// degraded parks nodes whose circuit was open when renewals failed: they
+	// are presumed partitioned (not departed) and wait for reconciliation.
+	degraded      map[string]string // node addr -> node id
+	lastReconcile map[string]ReconcileResult
+	stats         DriftCounters
+	closed        bool
+	neighbors     []string
+	activity      []BaseActivity
+	reg           *metrics.Registry
+	m             baseMetrics
+	tracer        *trace.Tracer
+
+	reconcileStop chan struct{}
+	reconcileDone chan struct{}
 
 	departures chan string
 	onDepart   func(nodeAddr string)
@@ -115,13 +160,24 @@ type Base struct {
 // baseMetrics counts the distribution side of adaptation, mirroring the
 // distribution log; all fields are nil-safe no-ops until Instrument.
 type baseMetrics struct {
-	adapts     *metrics.Counter
-	pushes     *metrics.Counter
-	pushErrors *metrics.Counter
-	departures *metrics.Counter
-	revokes    *metrics.Counter
-	roamHints  *metrics.Counter
-	adapted    *metrics.Gauge
+	adapts      *metrics.Counter
+	pushes      *metrics.Counter
+	pushErrors  *metrics.Counter
+	departures  *metrics.Counter
+	revokes     *metrics.Counter
+	roamHints   *metrics.Counter
+	degrades    *metrics.Counter
+	recovers    *metrics.Counter
+	journalErrs *metrics.Counter
+	// Reconciliation drift counters: how much anti-entropy work each round
+	// found (re-pushed missing extensions, revoked orphans, adopted leases).
+	reconRounds   *metrics.Counter
+	reconRepushes *metrics.Counter
+	reconOrphans  *metrics.Counter
+	reconAdopts   *metrics.Counter
+	reconErrors   *metrics.Counter
+	adapted       *metrics.Gauge
+	degraded      *metrics.Gauge
 }
 
 // Instrument records node adaptations, extension pushes (and push failures),
@@ -136,15 +192,26 @@ func (b *Base) Instrument(reg *metrics.Registry) {
 	defer b.mu.Unlock()
 	b.reg = reg
 	b.m = baseMetrics{
-		adapts:     reg.Counter("base.adapts"),
-		pushes:     reg.Counter("base.pushes"),
-		pushErrors: reg.Counter("base.push_errors"),
-		departures: reg.Counter("base.departures"),
-		revokes:    reg.Counter("base.revokes"),
-		roamHints:  reg.Counter("base.roam_hints"),
-		adapted:    reg.Gauge("base.adapted_nodes"),
+		adapts:        reg.Counter("base.adapts"),
+		pushes:        reg.Counter("base.pushes"),
+		pushErrors:    reg.Counter("base.push_errors"),
+		departures:    reg.Counter("base.departures"),
+		revokes:       reg.Counter("base.revokes"),
+		roamHints:     reg.Counter("base.roam_hints"),
+		degrades:      reg.Counter("base.degrades"),
+		recovers:      reg.Counter("base.recovers"),
+		journalErrs:   reg.Counter("base.journal_errors"),
+		reconRounds:   reg.Counter("base.reconcile_rounds"),
+		reconRepushes: reg.Counter("base.reconcile_repushes"),
+		reconOrphans:  reg.Counter("base.reconcile_orphans"),
+		reconAdopts:   reg.Counter("base.reconcile_adopts"),
+		reconErrors:   reg.Counter("base.reconcile_errors"),
+		adapted:       reg.Gauge("base.adapted_nodes"),
+		degraded:      reg.Gauge("base.degraded_nodes"),
 	}
 	b.m.adapted.Set(int64(len(b.adapted)))
+	b.m.degraded.Set(int64(len(b.degraded)))
+	b.cfg.Breaker.Instrument(reg)
 }
 
 // NewBase builds a base.
@@ -164,11 +231,21 @@ func NewBase(cfg BaseConfig) (*Base, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
-	return &Base{
-		cfg:     cfg,
-		caller:  cfg.Policy.Wrap(cfg.Caller), // nil Policy leaves the caller bare
-		adapted: make(map[string]*adaptedNode),
-	}, nil
+	b := &Base{
+		cfg: cfg,
+		// nil Policy / nil Breaker leave the caller bare. The breaker wraps
+		// outermost so an open circuit fast-fails before the retry loop runs.
+		caller:        cfg.Breaker.Wrap(cfg.Policy.Wrap(cfg.Caller)),
+		adapted:       make(map[string]*adaptedNode),
+		degraded:      make(map[string]string),
+		lastReconcile: make(map[string]ReconcileResult),
+	}
+	if cfg.ReconcileEvery > 0 {
+		b.reconcileStop = make(chan struct{})
+		b.reconcileDone = make(chan struct{})
+		go b.reconcileLoop()
+	}
+	return b, nil
 }
 
 // Signer returns the base's signing identity (receivers must trust its
@@ -189,6 +266,7 @@ func (b *Base) Trace(tr *trace.Tracer) {
 	b.mu.Unlock()
 	b.caller = transport.TraceCalls(b.caller, tr)
 	b.cfg.Policy.Trace(tr)
+	b.cfg.Breaker.Trace(tr)
 }
 
 func (b *Base) traceRef() *trace.Tracer {
@@ -343,16 +421,25 @@ func (b *Base) AdaptNode(nodeID, nodeAddr string) error {
 // trace.
 func (b *Base) AdaptNodeCtx(ctx context.Context, nodeID, nodeAddr string) error {
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("core: base %s is closed", b.cfg.Name)
+	}
 	if _, dup := b.adapted[nodeAddr]; dup {
 		b.mu.Unlock()
 		return nil // already adapted
 	}
-	n := &adaptedNode{
-		id:       nodeID,
-		addr:     nodeAddr,
-		renewers: make(map[string]*lease.Renewer),
-		spanCtxs: make(map[string]trace.SpanContext),
+	if _, deg := b.degraded[nodeAddr]; deg {
+		// The node is back from a partition, not newly arrived: reconcile its
+		// inventory instead of blindly re-pushing the whole policy set.
+		b.mu.Unlock()
+		res := b.reconcileNode(ctx, nodeAddr)
+		if res.Err != "" {
+			return fmt.Errorf("core: reconcile %s: %s", nodeAddr, res.Err)
+		}
+		return nil
 	}
+	n := newAdaptedNode(nodeID, nodeAddr)
 	b.adapted[nodeAddr] = n
 	exts := append([]Extension(nil), b.extensions...)
 	b.mu.Unlock()
@@ -406,14 +493,17 @@ func (b *Base) Activity() []BaseActivity {
 	return out
 }
 
-// Release stops renewing all leases held at the node; the receiver will
-// expire and withdraw the extensions on its own (§3.2's revocation path).
+// Release stops renewing all leases held at the node and forgets it (journal
+// record included — the release is deliberate); the receiver will expire and
+// withdraw the extensions on its own (§3.2's revocation path).
 func (b *Base) Release(nodeAddr string) {
 	b.mu.Lock()
 	n, ok := b.adapted[nodeAddr]
 	if ok {
 		delete(b.adapted, nodeAddr)
 	}
+	_, wasDegraded := b.degraded[nodeAddr]
+	delete(b.degraded, nodeAddr)
 	var renewers []*lease.Renewer
 	if ok {
 		for _, r := range n.renewers {
@@ -424,16 +514,126 @@ func (b *Base) Release(nodeAddr string) {
 	for _, r := range renewers {
 		r.Stop()
 	}
+	if ok || wasDegraded {
+		if err := b.cfg.Journal.DeleteNode(nodeAddr); err != nil {
+			b.mu.Lock()
+			b.m.journalErrs.Inc()
+			b.mu.Unlock()
+		}
+	}
 	if ok {
 		b.log("depart", n.id, "", "released")
 	}
 }
 
-// Close releases every adapted node.
+// Close stops the reconciler and every renewer. Unlike Release it keeps the
+// journal records: a graceful shutdown is indistinguishable from a crash on
+// restart, and Recover resumes the same state either way.
 func (b *Base) Close() {
-	for _, addr := range b.Adapted() {
-		b.Release(addr)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
 	}
+	b.closed = true
+	stop := b.reconcileStop
+	done := b.reconcileDone
+	nodes := b.adaptedNodesLocked()
+	b.adapted = make(map[string]*adaptedNode)
+	b.degraded = make(map[string]string)
+	b.mu.Unlock()
+
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	for _, n := range nodes {
+		for _, r := range n.renewers {
+			r.Stop()
+		}
+		b.log("depart", n.id, "", "released")
+	}
+	b.mu.Lock()
+	b.m.adapted.Set(0)
+	b.m.degraded.Set(0)
+	b.mu.Unlock()
+}
+
+// Recover replays the base journal after a crash or restart: every
+// non-degraded node is re-adopted with its renewers resumed on the remaining
+// lease window (a deadline that already passed triggers an immediate renewal
+// attempt, whose failure flows into the normal departure path), and degraded
+// nodes stay parked for reconciliation. Returns the number of nodes whose
+// renewals were resumed.
+func (b *Base) Recover() (int, error) {
+	recs, err := b.cfg.Journal.Nodes()
+	if err != nil {
+		return 0, err
+	}
+	addrs := make([]string, 0, len(recs))
+	for a := range recs {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	now := b.cfg.Clock.Now()
+	restored := 0
+	for _, addr := range addrs {
+		rec := recs[addr]
+		if rec.Degraded {
+			b.mu.Lock()
+			if _, dup := b.adapted[addr]; !dup && !b.closed {
+				b.degraded[addr] = rec.ID
+			}
+			b.mu.Unlock()
+			b.log("degrade", rec.ID, "", "restored from journal; awaiting reconciliation")
+			continue
+		}
+		n := newAdaptedNode(rec.ID, addr)
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			break
+		}
+		if _, dup := b.adapted[addr]; dup {
+			b.mu.Unlock()
+			continue
+		}
+		b.adapted[addr] = n
+		b.mu.Unlock()
+		names := make([]string, 0, len(rec.Exts))
+		for name := range rec.Exts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			gr := rec.Exts[name]
+			g := grantInfo{
+				version:  gr.Version,
+				leaseID:  lease.ID(gr.LeaseID),
+				dur:      time.Duration(gr.DurMillis) * time.Millisecond,
+				deadline: time.UnixMilli(gr.DeadlineMillis),
+			}
+			if g.dur <= 0 {
+				g.dur = b.cfg.LeaseDur
+			}
+			b.startRenewer(n, name, g, g.deadline.Sub(now), trace.SpanContext{})
+		}
+		restored++
+		b.log("recover", rec.ID, "", fmt.Sprintf("%d leases resumed", len(rec.Exts)))
+	}
+	return restored, nil
+}
+
+// Degraded lists the addresses of nodes parked for reconciliation, sorted.
+func (b *Base) Degraded() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.degraded))
+	for addr := range b.degraded {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (b *Base) pushExtension(ctx context.Context, n *adaptedNode, ext Extension) error {
@@ -462,19 +662,49 @@ func (b *Base) pushExtension(ctx context.Context, n *adaptedNode, ext Extension)
 	b.log("push", n.id, ext.Name, "")
 
 	// Keep the extension alive until the node leaves our space.
+	g := grantInfo{
+		version:  ext.Version,
+		leaseID:  lease.ID(resp.LeaseID),
+		dur:      b.cfg.LeaseDur,
+		deadline: b.cfg.Clock.Now().Add(b.cfg.LeaseDur),
+	}
+	if !b.startRenewer(n, ext.Name, g, b.cfg.LeaseDur, pushSC) {
+		// The node departed (or the base closed) while the push was in
+		// flight: there is no tracked node to keep alive, so no renewer is
+		// started — the receiver's lease will lapse on its own.
+		b.log("push", n.id, ext.Name, "node gone mid-push; lease left to expire")
+	}
+	return nil
+}
+
+// startRenewer builds the renewer that keeps ext alive at n, registers it and
+// starts it — unless the node was concurrently departed or the base closed,
+// in which case nothing is registered or started (a renewer for an untracked
+// node would leak: nobody would ever stop it). window is the first lease
+// window to renew within (the full lease on a fresh push, the remaining time
+// to the journalled deadline on recovery). Reports whether the renewer
+// started; on success the grant is recorded and the node checkpointed.
+func (b *Base) startRenewer(n *adaptedNode, extName string, g grantInfo, window time.Duration, sc trace.SpanContext) bool {
+	tr := b.traceRef()
+	if window <= 0 {
+		// The journalled deadline already passed: schedule an immediate
+		// renewal attempt; if the receiver expired the lease, the failure
+		// flows into the ordinary departure/degradation path.
+		window = time.Millisecond
+	}
 	renewer := lease.NewRenewer(b.cfg.Clock,
-		lease.Lease{ID: lease.ID(resp.LeaseID), Duration: b.cfg.LeaseDur},
+		lease.Lease{ID: g.leaseID, Duration: window},
 		func(id lease.ID, d time.Duration) (lease.Lease, error) {
 			// Each renewal is a child span of the push that installed the
 			// extension, so the whole lease history reads as one trace.
-			lctx, lsp := tr.StartSpan(trace.NewContext(context.Background(), pushSC), "lease.renew")
-			lsp.Tag("ext", ext.Name)
+			lctx, lsp := tr.StartSpan(trace.NewContext(context.Background(), sc), "lease.renew")
+			lsp.Tag("ext", extName)
 			lsp.Tag("node", n.id)
 			rctx, rcancel := context.WithTimeout(lctx, b.cfg.CallTimeout)
 			defer rcancel()
 			resp, err := transport.Invoke[RenewExtReq, RenewExtResp](rctx, b.caller, n.addr, MethodRenewE, RenewExtReq{
 				LeaseID:   string(id),
-				DurMillis: d.Milliseconds(),
+				DurMillis: b.cfg.LeaseDur.Milliseconds(),
 			})
 			lsp.End(err)
 			if err != nil {
@@ -484,8 +714,9 @@ func (b *Base) pushExtension(ctx context.Context, n *adaptedNode, ext Extension)
 			// shorter than requested.
 			granted := time.Duration(resp.DurMillis) * time.Millisecond
 			if granted <= 0 {
-				granted = d
+				granted = b.cfg.LeaseDur
 			}
+			b.noteRenewal(n, extName, granted)
 			return lease.Lease{ID: id, Duration: granted}, nil
 		},
 		b.cfg.RenewFraction,
@@ -503,24 +734,81 @@ func (b *Base) pushExtension(ctx context.Context, n *adaptedNode, ext Extension)
 	renewer.Instrument(reg)
 
 	b.mu.Lock()
-	if old, dup := n.renewers[ext.Name]; dup {
+	if b.closed || b.adapted[n.addr] != n {
+		b.mu.Unlock()
+		return false
+	}
+	if old, dup := n.renewers[extName]; dup {
 		go old.Stop()
 	}
-	n.renewers[ext.Name] = renewer
+	n.renewers[extName] = renewer
 	if n.spanCtxs == nil {
 		n.spanCtxs = make(map[string]trace.SpanContext)
 	}
-	n.spanCtxs[ext.Name] = pushSC
+	n.spanCtxs[extName] = sc
+	if n.grants == nil {
+		n.grants = make(map[string]grantInfo)
+	}
+	n.grants[extName] = g
+	b.journalNodeLocked(n)
 	b.mu.Unlock()
 	renewer.Start()
-	return nil
+	return true
+}
+
+// noteRenewal records a successful renewal's new absolute deadline and
+// checkpoints it.
+func (b *Base) noteRenewal(n *adaptedNode, extName string, granted time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.adapted[n.addr] != n {
+		return
+	}
+	g, ok := n.grants[extName]
+	if !ok {
+		return
+	}
+	g.dur = granted
+	g.deadline = b.cfg.Clock.Now().Add(granted)
+	n.grants[extName] = g
+	b.journalNodeLocked(n)
+}
+
+// journalNodeLocked checkpoints one node's record. Callers hold b.mu.
+func (b *Base) journalNodeLocked(n *adaptedNode) {
+	if b.cfg.Journal == nil {
+		return
+	}
+	rec := NodeRecord{ID: n.id, Exts: make(map[string]GrantRecord, len(n.grants))}
+	for name, g := range n.grants {
+		rec.Exts[name] = GrantRecord{
+			Version:        g.version,
+			LeaseID:        string(g.leaseID),
+			DurMillis:      g.dur.Milliseconds(),
+			DeadlineMillis: g.deadline.UnixMilli(),
+		}
+	}
+	if err := b.cfg.Journal.PutNode(n.addr, rec); err != nil {
+		b.m.journalErrs.Inc()
+	}
 }
 
 func (b *Base) nodeDeparted(nodeAddr string) {
+	// When the node's circuit is open the link is down but the node may well
+	// still be in our space: park it as degraded for reconciliation instead
+	// of treating it as a departure (no roam hints — it did not move).
+	degrade := b.cfg.Breaker.State(nodeAddr) != transport.BreakerClosed
+
 	b.mu.Lock()
+	if b.closed {
+		degrade = false
+	}
 	n, ok := b.adapted[nodeAddr]
 	if ok {
 		delete(b.adapted, nodeAddr)
+		if degrade {
+			b.degraded[nodeAddr] = n.id
+		}
 	}
 	neighbors := append([]string(nil), b.neighbors...)
 	cb := b.onDepart
@@ -532,6 +820,38 @@ func (b *Base) nodeDeparted(nodeAddr string) {
 		r.Stop()
 	}
 	tr := b.traceRef()
+	if degrade {
+		_, dsp := tr.StartSpan(context.Background(), "base.degrade")
+		dsp.Tag("node", n.id)
+		dsp.Annotatef("circuit open; parked for reconciliation")
+		dsp.End(nil)
+		tr.Eventf(nil, "base", "node %s degraded (circuit open); awaiting reconciliation", n.id)
+		b.log("degrade", n.id, "", "circuit open; awaiting reconciliation")
+		// Keep the journal record but flag it, so a restarted base knows to
+		// reconcile rather than resume renewals.
+		if b.cfg.Journal != nil {
+			b.mu.Lock()
+			rec := NodeRecord{ID: n.id, Degraded: true, Exts: make(map[string]GrantRecord, len(n.grants))}
+			for name, g := range n.grants {
+				rec.Exts[name] = GrantRecord{
+					Version:        g.version,
+					LeaseID:        string(g.leaseID),
+					DurMillis:      g.dur.Milliseconds(),
+					DeadlineMillis: g.deadline.UnixMilli(),
+				}
+			}
+			if err := b.cfg.Journal.PutNode(nodeAddr, rec); err != nil {
+				b.m.journalErrs.Inc()
+			}
+			b.mu.Unlock()
+		}
+		return
+	}
+	if err := b.cfg.Journal.DeleteNode(nodeAddr); err != nil {
+		b.mu.Lock()
+		b.m.journalErrs.Inc()
+		b.mu.Unlock()
+	}
 	_, dsp := tr.StartSpan(context.Background(), "base.depart")
 	dsp.Tag("node", n.id)
 	dsp.Annotatef("lease renewal failed")
@@ -563,6 +883,8 @@ func (b *Base) stopRenewer(nodeAddr, extName string) {
 	if n, ok := b.adapted[nodeAddr]; ok {
 		r = n.renewers[extName]
 		delete(n.renewers, extName)
+		delete(n.grants, extName)
+		b.journalNodeLocked(n)
 	}
 	b.mu.Unlock()
 	if r != nil {
@@ -603,8 +925,13 @@ func (b *Base) log(ev, node, ext, detail string) {
 		b.m.revokes.Inc()
 	case "roam-hint":
 		b.m.roamHints.Inc()
+	case "degrade":
+		b.m.degrades.Inc()
+	case "recover":
+		b.m.recovers.Inc()
 	}
 	b.m.adapted.Set(int64(len(b.adapted)))
+	b.m.degraded.Set(int64(len(b.degraded)))
 }
 
 // ServeOn registers the base's RPC surface on mux: the monitoring record
@@ -644,6 +971,9 @@ func (b *Base) ServeOn(mux *transport.Mux) {
 		actx := trace.Detach(ctx)
 		go func() { _ = b.AdaptNodeCtx(actx, req.NodeID, req.NodeAddr) }()
 		return EmptyResp{}, nil
+	})
+	transport.Register(mux, MethodBaseStatus, func(_ context.Context, _ EmptyResp) (BaseStatusResp, error) {
+		return b.Status(), nil
 	})
 }
 

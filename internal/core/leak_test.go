@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
+	"repro/internal/sign"
 )
 
 // TestNoGoroutineLeaksOnTeardown spins up the full cluster (lookup, base,
@@ -38,4 +43,106 @@ func TestNoGoroutineLeaksOnTeardown(t *testing.T) {
 	n := runtime.Stack(buf, true)
 	t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
 		baseline, runtime.NumGoroutine(), buf[:n])
+}
+
+// slowPushCaller parks MethodInstall calls until release is closed, so a test
+// can interleave Release/Close with an in-flight push, and counts renewal
+// attempts arriving afterwards.
+type slowPushCaller struct {
+	installing chan struct{} // receives once per install call, before parking
+	release    chan struct{}
+	renews     atomic.Int32
+}
+
+func (c *slowPushCaller) Call(_ context.Context, _, method string, _, resp any) error {
+	switch method {
+	case MethodInstall:
+		c.installing <- struct{}{}
+		<-c.release
+		*(resp.(*InstallResp)) = InstallResp{LeaseID: "L1"}
+	case MethodRenewE:
+		c.renews.Add(1)
+		*(resp.(*RenewExtResp)) = RenewExtResp{DurMillis: time.Minute.Milliseconds()}
+	}
+	return nil
+}
+
+// TestNoRenewerLeakWhenNodeDepartsMidPush pins the startRenewer guard: when
+// the node is released — or the whole base closed — while its install RPC is
+// still in flight, the push must NOT register or start a renewer afterwards.
+// An unstoppable renewer for an untracked node would renew (and leak) forever.
+func TestNoRenewerLeakWhenNodeDepartsMidPush(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cut  func(b *Base)
+	}{
+		{"release", func(b *Base) { b.Release("robot1") }},
+		{"close", func(b *Base) { b.Close() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			clk := clock.NewManual(time.Unix(1000, 0))
+			signer, err := sign.NewSigner("hall-1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			caller := &slowPushCaller{
+				installing: make(chan struct{}),
+				release:    make(chan struct{}),
+			}
+			b, err := NewBase(BaseConfig{
+				Name:          "hall-1",
+				Addr:          "base-1",
+				Caller:        caller,
+				Signer:        signer,
+				Clock:         clk,
+				LeaseDur:      time.Minute,
+				RenewFraction: 0.5,
+				CallTimeout:   time.Hour,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			if err := b.AddExtension(noopExt("policy", 1)); err != nil {
+				t.Fatal(err)
+			}
+
+			adaptDone := make(chan error, 1)
+			go func() { adaptDone <- b.AdaptNode("robot1", "robot1") }()
+			<-caller.installing // push is in flight, parked in the caller
+			tc.cut(b)           // node departs / base closes mid-push
+			close(caller.release)
+			if err := <-adaptDone; err != nil {
+				t.Fatalf("adapt: %v", err)
+			}
+
+			if got := b.Adapted(); len(got) != 0 {
+				t.Fatalf("adapted = %v after %s mid-push", got, tc.name)
+			}
+			// If a renewer slipped through, it would wake at t+30s and renew
+			// the abandoned lease. Advance well past several windows.
+			for i := 0; i < 10; i++ {
+				clk.Advance(30 * time.Second)
+				time.Sleep(5 * time.Millisecond)
+			}
+			if got := caller.renews.Load(); got != 0 {
+				t.Fatalf("%d renewals after %s mid-push: leaked renewer", got, tc.name)
+			}
+			if clk.PendingTimers() != 0 {
+				t.Fatalf("%d timers pending: leaked renewer schedule", clk.PendingTimers())
+			}
+
+			deadline := time.Now().Add(3 * time.Second)
+			for time.Now().Before(deadline) && runtime.NumGoroutine() > baseline+2 {
+				runtime.Gosched()
+				time.Sleep(10 * time.Millisecond)
+			}
+			if now := runtime.NumGoroutine(); now > baseline+2 {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutines leaked mid-push: baseline %d, now %d\n%s", baseline, now, buf[:n])
+			}
+		})
+	}
 }

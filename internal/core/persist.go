@@ -1,0 +1,260 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// This file is the durable-state layer of the MIDAS lifecycle: both sides of
+// the advertise→push→lease→revoke protocol checkpoint their runtime tables
+// into a store.KV journal (journal + compact machinery reused from the
+// movement database) so a crashed base or node restarts into the state it
+// held, instead of stranding extensions or re-pushing everything from
+// scratch. All deadlines are persisted as absolute instants — replaying a
+// grant after a crash longer than its lease window restores it expired, so
+// recovery converges exactly like an uninterrupted run.
+//
+// Journal layout (one KV key per entity, JSON values):
+//
+//	base journal      node/<addr>  -> NodeRecord   (adapted/degraded node,
+//	                                                per-extension grants)
+//	receiver journal  ext/<name>   -> InstallRecord (signed extension, lease)
+//
+// Both journals auto-compact, so the files stay proportional to the live
+// state, not the update history. All journal types are nil-safe: a nil
+// journal is a no-op, so bases and receivers persist unconditionally.
+
+// journalAutoCompactEvery bounds journal growth: after this many writes the
+// KV rewrites itself to one line per live key.
+const journalAutoCompactEvery = 4096
+
+const (
+	nodeKeyPrefix = "node/"
+	extKeyPrefix  = "ext/"
+)
+
+// GrantRecord is the durable view of one pushed extension's lease at the
+// base: which version is out, under which lease, and when that lease lapses
+// (absolute, so restarts never re-open expired windows).
+type GrantRecord struct {
+	Version        int    `json:"v"`
+	LeaseID        string `json:"lease"`
+	DurMillis      int64  `json:"dur"`
+	DeadlineMillis int64  `json:"deadline"`
+}
+
+// NodeRecord is the durable view of one node the base has adapted (or, when
+// Degraded, is holding for reconciliation once the node is reachable again).
+type NodeRecord struct {
+	ID       string                 `json:"id"`
+	Degraded bool                   `json:"degraded,omitempty"`
+	Exts     map[string]GrantRecord `json:"exts,omitempty"`
+}
+
+// InstallRecord is the durable view of one installed extension at the
+// receiver: the signed payload (re-verified on replay), its originating base
+// and the lease's absolute deadline.
+type InstallRecord struct {
+	Signed         SignedExtension `json:"signed"`
+	BaseAddr       string          `json:"base"`
+	LeaseID        string          `json:"lease"`
+	DurMillis      int64           `json:"dur"`
+	DeadlineMillis int64           `json:"deadline"`
+}
+
+// openStateKV opens (creating dir if needed) one journal file.
+func openStateKV(dir, file string) (*store.KV, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: state dir %s: %w", dir, err)
+	}
+	kv, err := store.OpenKV(filepath.Join(dir, file))
+	if err != nil {
+		return nil, err
+	}
+	kv.SetAutoCompact(journalAutoCompactEvery)
+	return kv, nil
+}
+
+// BaseJournal persists a base's distribution state under a state directory.
+type BaseJournal struct {
+	kv *store.KV
+}
+
+// OpenBaseJournal opens dir/base-state.kv, creating the directory as needed
+// and replaying any existing journal.
+func OpenBaseJournal(dir string) (*BaseJournal, error) {
+	kv, err := openStateKV(dir, "base-state.kv")
+	if err != nil {
+		return nil, err
+	}
+	return &BaseJournal{kv: kv}, nil
+}
+
+// PutNode checkpoints one node's record. A nil journal is a no-op.
+func (j *BaseJournal) PutNode(addr string, rec NodeRecord) error {
+	if j == nil {
+		return nil
+	}
+	v, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("core: journal node %s: %w", addr, err)
+	}
+	return j.kv.Put(nodeKeyPrefix+addr, v)
+}
+
+// DeleteNode drops one node's record. A nil journal is a no-op.
+func (j *BaseJournal) DeleteNode(addr string) error {
+	if j == nil {
+		return nil
+	}
+	return j.kv.Delete(nodeKeyPrefix + addr)
+}
+
+// Nodes returns all journalled node records by address.
+func (j *BaseJournal) Nodes() (map[string]NodeRecord, error) {
+	if j == nil {
+		return nil, nil
+	}
+	out := make(map[string]NodeRecord)
+	for _, k := range j.kv.Keys() {
+		addr, ok := strings.CutPrefix(k, nodeKeyPrefix)
+		if !ok {
+			continue
+		}
+		raw, ok := j.kv.Get(k)
+		if !ok {
+			continue
+		}
+		var rec NodeRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("core: journal node %s: %w", addr, err)
+		}
+		out[addr] = rec
+	}
+	return out, nil
+}
+
+// Compact rewrites the journal to the live state. A nil journal is a no-op.
+func (j *BaseJournal) Compact() error {
+	if j == nil {
+		return nil
+	}
+	return j.kv.Compact()
+}
+
+// Close flushes and closes the journal. A nil journal is a no-op.
+func (j *BaseJournal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.kv.Close()
+}
+
+// ReceiverJournal persists a receiver's installed-extension state under a
+// state directory.
+type ReceiverJournal struct {
+	kv *store.KV
+}
+
+// OpenReceiverJournal opens dir/receiver-state.kv, creating the directory as
+// needed and replaying any existing journal.
+func OpenReceiverJournal(dir string) (*ReceiverJournal, error) {
+	kv, err := openStateKV(dir, "receiver-state.kv")
+	if err != nil {
+		return nil, err
+	}
+	return &ReceiverJournal{kv: kv}, nil
+}
+
+// PutExt checkpoints one installed extension. A nil journal is a no-op.
+func (j *ReceiverJournal) PutExt(name string, rec InstallRecord) error {
+	if j == nil {
+		return nil
+	}
+	v, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("core: journal ext %s: %w", name, err)
+	}
+	return j.kv.Put(extKeyPrefix+name, v)
+}
+
+// UpdateDeadline rewrites one extension record's lease deadline (renewals are
+// far more frequent than installs, so this avoids re-marshalling the signed
+// payload at every call site). Unknown names are a no-op. A nil journal is a
+// no-op.
+func (j *ReceiverJournal) UpdateDeadline(name string, deadlineMillis int64) error {
+	if j == nil {
+		return nil
+	}
+	raw, ok := j.kv.Get(extKeyPrefix + name)
+	if !ok {
+		return nil
+	}
+	var rec InstallRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return fmt.Errorf("core: journal ext %s: %w", name, err)
+	}
+	rec.DeadlineMillis = deadlineMillis
+	v, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("core: journal ext %s: %w", name, err)
+	}
+	return j.kv.Put(extKeyPrefix+name, v)
+}
+
+// DeleteExt drops one extension's record. A nil journal is a no-op.
+func (j *ReceiverJournal) DeleteExt(name string) error {
+	if j == nil {
+		return nil
+	}
+	return j.kv.Delete(extKeyPrefix + name)
+}
+
+// Exts returns all journalled install records, sorted by extension name so
+// replay order is deterministic.
+func (j *ReceiverJournal) Exts() ([]InstallRecord, error) {
+	if j == nil {
+		return nil, nil
+	}
+	keys := j.kv.Keys()
+	sort.Strings(keys)
+	var out []InstallRecord
+	for _, k := range keys {
+		name, ok := strings.CutPrefix(k, extKeyPrefix)
+		if !ok {
+			continue
+		}
+		raw, ok := j.kv.Get(k)
+		if !ok {
+			continue
+		}
+		var rec InstallRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("core: journal ext %s: %w", name, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Compact rewrites the journal to the live state. A nil journal is a no-op.
+func (j *ReceiverJournal) Compact() error {
+	if j == nil {
+		return nil
+	}
+	return j.kv.Compact()
+}
+
+// Close flushes and closes the journal. A nil journal is a no-op.
+func (j *ReceiverJournal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.kv.Close()
+}

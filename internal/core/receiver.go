@@ -48,12 +48,15 @@ type ReceiverConfig struct {
 	// Extras carries node-local native facilities exposed to builtin advice
 	// factories through Env.Extras.
 	Extras map[string]any
+	// Journal, when set, checkpoints every installed extension and its lease
+	// deadline so Recover can rebuild the adaptation state after a crash.
+	Journal *ReceiverJournal
 }
 
 // Activity is one entry of the receiver's adaptation log.
 type Activity struct {
 	AtMillis int64
-	Event    string // "install", "replace", "refresh", "withdraw", "expire", "reject"
+	Event    string // "install", "replace", "refresh", "withdraw", "expire", "reject", "recover"
 	Ext      string
 	Base     string
 	Detail   string
@@ -105,6 +108,8 @@ type receiverMetrics struct {
 	withdrawals *metrics.Counter
 	expiries    *metrics.Counter
 	rejects     *metrics.Counter
+	recovers    *metrics.Counter
+	journalErrs *metrics.Counter
 	installed   *metrics.Gauge
 }
 
@@ -127,6 +132,8 @@ func (r *Receiver) Instrument(reg *metrics.Registry) {
 		withdrawals: reg.Counter("ext.withdrawals"),
 		expiries:    reg.Counter("ext.expiries"),
 		rejects:     reg.Counter("ext.rejects"),
+		recovers:    reg.Counter("ext.recovers"),
+		journalErrs: reg.Counter("ext.journal_errors"),
 		installed:   reg.Gauge("ext.installed"),
 	}
 	r.m.installed.Set(int64(len(r.installed)))
@@ -214,16 +221,40 @@ func (r *Receiver) InstallCtx(ctx context.Context, signed SignedExtension, baseA
 			return "", err
 		}
 	}
-	id, outcome, err := r.install(ctx, ext, signed.Sig.SignerName, baseAddr, dur, false)
+	id, outcome, err := r.install(ctx, ext, signed.Sig.SignerName, baseAddr, dur, false, nil)
 	if err != nil {
 		r.log("reject", ext.Name, baseAddr, err.Error())
 		sp.Tag("outcome", "reject")
 		sp.End(err)
 		return "", err
 	}
+	r.journalExt(signed, baseAddr, id, dur)
 	sp.Tag("outcome", outcome)
 	sp.End(nil)
 	return id, nil
+}
+
+// journalExt checkpoints an installed extension and its lease deadline so a
+// crashed node recovers into the same adaptation state.
+func (r *Receiver) journalExt(signed SignedExtension, baseAddr string, id lease.ID, dur time.Duration) {
+	if r.cfg.Journal == nil {
+		return
+	}
+	deadline, _ := r.grantor.Deadline(id)
+	err := r.cfg.Journal.PutExt(signed.Ext.Name, InstallRecord{
+		Signed:         signed,
+		BaseAddr:       baseAddr,
+		LeaseID:        string(id),
+		DurMillis:      dur.Milliseconds(),
+		DeadlineMillis: deadline.UnixMilli(),
+	})
+	if err != nil {
+		r.mu.Lock()
+		je := r.m.journalErrs
+		r.mu.Unlock()
+		je.Inc()
+		r.traceRef().Eventf(nil, "recover", "journal ext %s: %v", signed.Ext.Name, err)
+	}
 }
 
 func (r *Receiver) installImplicit(ctx context.Context, name, baseAddr string) error {
@@ -239,7 +270,7 @@ func (r *Receiver) installImplicit(ctx context.Context, name, baseAddr string) e
 		return fmt.Errorf("core: required implicit extension %q not available", name)
 	}
 	// Implicit extensions are local and trusted: no lease, no signature.
-	if _, _, err := r.install(ctx, bundle, "local", baseAddr, 0, true); err != nil {
+	if _, _, err := r.install(ctx, bundle, "local", baseAddr, 0, true, nil); err != nil {
 		return err
 	}
 	r.mu.Lock()
@@ -250,7 +281,11 @@ func (r *Receiver) installImplicit(ctx context.Context, name, baseAddr string) e
 	return nil
 }
 
-func (r *Receiver) install(ctx context.Context, ext Extension, signer, baseAddr string, dur time.Duration, system bool) (lease.ID, string, error) {
+// install weaves one extension. When restore is non-nil the install replays a
+// journal record: the original lease is re-registered under its absolute
+// deadline instead of a fresh grant, so a lease that lapsed while the node was
+// down expires on the first sweep rather than being silently re-opened.
+func (r *Receiver) install(ctx context.Context, ext Extension, signer, baseAddr string, dur time.Duration, system bool, restore *InstallRecord) (lease.ID, string, error) {
 	// Idempotent re-push: a base retrying an install whose response was lost
 	// on the wire re-sends the same version. Refresh the existing lease and
 	// return the original handle instead of failing — and do it before any
@@ -342,8 +377,14 @@ func (r *Receiver) install(ctx context.Context, ext Extension, signer, baseAddr 
 	}
 	if !system {
 		name := ext.Name
-		l := r.grantor.GrantCtx(ctx, dur, func(lease.ID) { r.expire(name) })
-		ie.leaseID = l.ID
+		if restore != nil {
+			l := r.grantor.Restore(lease.ID(restore.LeaseID), time.UnixMilli(restore.DeadlineMillis),
+				time.Duration(restore.DurMillis)*time.Millisecond, func(lease.ID) { r.expire(name) })
+			ie.leaseID = l.ID
+		} else {
+			l := r.grantor.GrantCtx(ctx, dur, func(lease.ID) { r.expire(name) })
+			ie.leaseID = l.ID
+		}
 	}
 	r.mu.Lock()
 	r.installed[ext.Name] = ie
@@ -358,8 +399,127 @@ func (r *Receiver) install(ctx context.Context, ext Extension, signer, baseAddr 
 // Renew extends an installed extension's lease; bases call this periodically
 // to keep their adaptations alive.
 func (r *Receiver) Renew(id lease.ID, dur time.Duration) error {
-	_, err := r.grantor.Renew(id, dur)
+	_, err := r.renewLease(context.Background(), id, dur)
 	return err
+}
+
+// renewLease extends a lease and checkpoints the new deadline.
+func (r *Receiver) renewLease(ctx context.Context, id lease.ID, dur time.Duration) (lease.Lease, error) {
+	l, err := r.grantor.RenewCtx(ctx, id, dur)
+	if err != nil {
+		return l, err
+	}
+	if r.cfg.Journal != nil {
+		if err := r.cfg.Journal.UpdateDeadline(r.extNameByLease(id), l.Expiry.UnixMilli()); err != nil {
+			r.mu.Lock()
+			je := r.m.journalErrs
+			r.mu.Unlock()
+			je.Inc()
+		}
+	}
+	return l, nil
+}
+
+// extNameByLease maps a lease handle back to its extension name ("" when the
+// lease belongs to no installed extension).
+func (r *Receiver) extNameByLease(id lease.ID) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, ie := range r.installed {
+		if ie.leaseID == id {
+			return name
+		}
+	}
+	return ""
+}
+
+// Recover replays the receiver's journal after a crash: every recorded
+// extension is re-verified, re-woven and its lease re-registered under the
+// original handle and absolute deadline. Leases that lapsed while the node
+// was down are expired immediately afterwards, so the surviving installed
+// set matches what an uninterrupted node would hold. Call after trust keys
+// are loaded and before serving. Returns the number of extensions restored.
+func (r *Receiver) Recover() (int, error) {
+	recs, err := r.cfg.Journal.Exts()
+	if err != nil {
+		return 0, err
+	}
+	restored := 0
+	for _, rec := range recs {
+		// A record that no longer survives re-verification (rotated base
+		// key, missing builtin) is rejected and dropped, never fatal: the
+		// node must come up empty-handed and let the base's reconciliation
+		// re-push current extensions rather than refuse to start.
+		if err := r.recoverOne(rec); err != nil {
+			r.log("reject", rec.Signed.Ext.Name, rec.BaseAddr, "recover: "+err.Error())
+			continue
+		}
+		restored++
+	}
+	// Sweep now: anything whose lease lapsed during the outage is withdrawn
+	// before the node starts serving, not at the first periodic sweep.
+	r.grantor.ExpireNow()
+	return restored, nil
+}
+
+func (r *Receiver) recoverOne(rec InstallRecord) error {
+	signed := rec.Signed
+	ext := signed.Ext
+	ctx, sp := r.traceRef().StartSpan(context.Background(), "ext.recover")
+	sp.Tag("ext", ext.Name)
+	sp.Tag("node", r.cfg.NodeName)
+	err := func() error {
+		if err := signed.Verify(r.cfg.Trust); err != nil {
+			return err
+		}
+		if err := ext.Validate(); err != nil {
+			return err
+		}
+		for _, req := range ext.Requires {
+			if err := r.installImplicit(ctx, req, rec.BaseAddr); err != nil {
+				return err
+			}
+		}
+		dur := time.Duration(rec.DurMillis) * time.Millisecond
+		_, _, err := r.install(ctx, ext, signed.Sig.SignerName, rec.BaseAddr, dur, false, &rec)
+		return err
+	}()
+	sp.End(err)
+	if err != nil {
+		// The record did not survive re-verification (key rotated, builtin
+		// gone): drop it so the next restart is not haunted by it.
+		_ = r.cfg.Journal.DeleteExt(ext.Name)
+		return err
+	}
+	r.log("recover", ext.Name, rec.BaseAddr, fmt.Sprintf("version %d", ext.Version))
+	return nil
+}
+
+// Inventory reports the non-system extensions this node holds, with their
+// originating base, lease handle and absolute deadline — the receiver's side
+// of anti-entropy reconciliation.
+func (r *Receiver) Inventory() []InventoryItem {
+	r.mu.Lock()
+	items := make([]InventoryItem, 0, len(r.installed))
+	for _, ie := range r.installed {
+		if ie.system {
+			continue
+		}
+		items = append(items, InventoryItem{
+			Name:     ie.ext.Name,
+			Version:  ie.ext.Version,
+			BaseAddr: ie.baseAddr,
+			LeaseID:  string(ie.leaseID),
+		})
+	}
+	r.mu.Unlock()
+	for i := range items {
+		if d, ok := r.grantor.Deadline(lease.ID(items[i].LeaseID)); ok {
+			items[i].DeadlineMillis = d.UnixMilli()
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
+	return items
 }
 
 // Withdraw removes the named extension immediately (explicit revocation by
@@ -407,7 +567,13 @@ func (r *Receiver) remove(ctx context.Context, name, event string) error {
 	requires := ie.ext.Requires
 	baseAddr := ie.baseAddr
 	leaseID := ie.leaseID
+	system := ie.system
 	r.mu.Unlock()
+
+	// System extensions are never journalled, so skip the tombstone write.
+	if !system {
+		_ = r.cfg.Journal.DeleteExt(name)
+	}
 
 	if leaseID != "" {
 		_ = r.grantor.Cancel(leaseID)
@@ -492,6 +658,8 @@ func (r *Receiver) log(event, ext, base, detail string) {
 		r.m.expiries.Inc()
 	case "reject":
 		r.m.rejects.Inc()
+	case "recover":
+		r.m.recovers.Inc()
 	}
 	r.m.installed.Set(int64(len(r.installed)))
 }
@@ -612,11 +780,14 @@ func (r *Receiver) ServeOn(mux *transport.Mux) {
 		return InstallResp{LeaseID: string(id)}, nil
 	})
 	transport.Register(mux, MethodRenewE, func(ctx context.Context, req RenewExtReq) (RenewExtResp, error) {
-		l, err := r.grantor.RenewCtx(ctx, lease.ID(req.LeaseID), time.Duration(req.DurMillis)*time.Millisecond)
+		l, err := r.renewLease(ctx, lease.ID(req.LeaseID), time.Duration(req.DurMillis)*time.Millisecond)
 		if err != nil {
 			return RenewExtResp{}, err
 		}
 		return RenewExtResp{DurMillis: l.Duration.Milliseconds()}, nil
+	})
+	transport.Register(mux, MethodInventory, func(_ context.Context, _ EmptyResp) (InventoryResp, error) {
+		return InventoryResp{Node: r.cfg.NodeName, Items: r.Inventory()}, nil
 	})
 	transport.Register(mux, MethodRevoke, func(ctx context.Context, req RevokeReq) (EmptyResp, error) {
 		// A revoke of something already gone is a success: the base may be

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/lease"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Anti-entropy reconciliation: the base periodically (and whenever a degraded
+// node answers again) asks each node for its installed-extension inventory
+// and repairs the drift a partition or crash left behind — re-pushing
+// extensions the node is missing, revoking orphans that survived a missed
+// revoke, and adopting the receiver's live leases instead of blindly
+// re-pushing what is already there.
+
+// RPC method names of the reconciliation surface.
+const (
+	// MethodInventory asks a receiver for its non-system extension inventory.
+	MethodInventory = "midas.inventory"
+	// MethodBaseStatus reports the base's per-node health and reconciliation
+	// state (midasctl status).
+	MethodBaseStatus = "base.status"
+)
+
+// Wire types for the reconciliation surface.
+type (
+	// InventoryItem describes one installed extension with its lease.
+	InventoryItem struct {
+		Name           string
+		Version        int
+		BaseAddr       string
+		LeaseID        string
+		DeadlineMillis int64
+	}
+	// InventoryResp is a receiver's installed-set inventory.
+	InventoryResp struct {
+		Node  string
+		Items []InventoryItem
+	}
+	// ReconcileResult summarizes one reconciliation round against one node.
+	ReconcileResult struct {
+		AtMillis int64
+		Err      string   // first error, "" when the round completed
+		Repushed []string // extensions missing or outdated at the node
+		Revoked  []string // orphans withdrawn (missed revokes)
+		Adopted  []string // live receiver leases adopted without a re-push
+		Promoted bool     // node returned from degraded
+		InSync   bool     // nothing to repair
+	}
+	// NodeStatus is one node's row in a base status report.
+	NodeStatus struct {
+		ID            string
+		Addr          string
+		State         string // "adapted" | "degraded"
+		Breaker       string // circuit state: "closed" | "open" | "half-open"
+		Exts          []string
+		LastReconcile ReconcileResult
+	}
+	// DriftCounters aggregate how much anti-entropy repair the base has done.
+	DriftCounters struct {
+		Rounds   uint64
+		Repushes uint64
+		Orphans  uint64
+		Adopts   uint64
+		Errors   uint64
+	}
+	// BaseStatusResp is the base.status report.
+	BaseStatusResp struct {
+		Name       string
+		Addr       string
+		Extensions []string // policy set, name@version
+		Nodes      []NodeStatus
+		Drift      DriftCounters
+	}
+)
+
+// reconcileLoop drives periodic anti-entropy rounds until Close.
+func (b *Base) reconcileLoop() {
+	defer close(b.reconcileDone)
+	for {
+		select {
+		case <-b.reconcileStop:
+			return
+		case <-b.cfg.Clock.After(b.cfg.ReconcileEvery):
+			b.ReconcileNow(context.Background())
+		}
+	}
+}
+
+// ReconcileNow runs one anti-entropy round over every adapted and degraded
+// node, returning the per-node results keyed by address.
+func (b *Base) ReconcileNow(ctx context.Context) map[string]ReconcileResult {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	targets := make([]string, 0, len(b.adapted)+len(b.degraded))
+	for addr := range b.adapted {
+		targets = append(targets, addr)
+	}
+	for addr := range b.degraded {
+		targets = append(targets, addr)
+	}
+	rounds := b.m.reconRounds
+	b.stats.Rounds++
+	b.mu.Unlock()
+	rounds.Inc()
+
+	sort.Strings(targets)
+	out := make(map[string]ReconcileResult, len(targets))
+	for _, addr := range targets {
+		out[addr] = b.reconcileNode(ctx, addr)
+	}
+	return out
+}
+
+// reconcileNode diffs one node's inventory against the policy set and repairs
+// the drift. For a degraded node the inventory call doubles as the circuit's
+// half-open probe: while the circuit is open it fast-fails locally (no re-push
+// storm), and the probe that finally lands promotes the node back.
+func (b *Base) reconcileNode(ctx context.Context, addr string) ReconcileResult {
+	res := ReconcileResult{AtMillis: b.cfg.Clock.Now().UnixMilli()}
+	tr := b.traceRef()
+	rctx, sp := tr.StartSpan(ctx, "base.reconcile")
+	sp.Tag("node", addr)
+
+	ictx, cancel := context.WithTimeout(rctx, b.cfg.CallTimeout)
+	inv, err := transport.Invoke[EmptyResp, InventoryResp](ictx, b.caller, addr, MethodInventory, EmptyResp{})
+	cancel()
+	if err != nil {
+		res.Err = err.Error()
+		sp.End(err)
+		b.noteReconcile(addr, res)
+		return res
+	}
+
+	b.mu.Lock()
+	n, adapted := b.adapted[addr]
+	id, wasDegraded := b.degraded[addr]
+	desired := append([]Extension(nil), b.extensions...)
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		sp.End(nil)
+		return res
+	}
+	if !adapted {
+		if !wasDegraded {
+			// Released concurrently: nothing to reconcile.
+			sp.End(nil)
+			return res
+		}
+		// The inventory answered: the node is back from its partition.
+		nodeID := id
+		if inv.Node != "" {
+			nodeID = inv.Node
+		}
+		n = newAdaptedNode(nodeID, addr)
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			sp.End(nil)
+			return res
+		}
+		if cur, dup := b.adapted[addr]; dup {
+			n = cur
+		} else {
+			delete(b.degraded, addr)
+			b.adapted[addr] = n
+		}
+		b.mu.Unlock()
+		res.Promoted = true
+		b.log("reconcile", nodeID, "", "node reachable again; promoted from degraded")
+	}
+
+	// Index what the node holds from this base.
+	mine := make(map[string]InventoryItem, len(inv.Items))
+	for _, it := range inv.Items {
+		if it.BaseAddr == b.cfg.Addr {
+			mine[it.Name] = it
+		}
+	}
+
+	now := b.cfg.Clock.Now()
+	for _, ext := range desired {
+		it, have := mine[ext.Name]
+		delete(mine, ext.Name)
+		switch {
+		case !have || it.Version < ext.Version:
+			// Missing (wiped, expired during the partition) or outdated.
+			if err := b.pushExtension(rctx, n, ext); err != nil {
+				if res.Err == "" {
+					res.Err = err.Error()
+				}
+				b.log("push", n.id, ext.Name, "failed: "+err.Error())
+				continue
+			}
+			res.Repushed = append(res.Repushed, ext.Name)
+		case it.Version == ext.Version:
+			b.mu.Lock()
+			_, hasRenewer := n.renewers[ext.Name]
+			b.mu.Unlock()
+			if !hasRenewer {
+				// The node still holds a live lease (e.g. the base crashed or
+				// the node just came back): adopt the receiver's lease and
+				// deadline instead of re-pushing.
+				deadline := time.UnixMilli(it.DeadlineMillis)
+				g := grantInfo{
+					version:  it.Version,
+					leaseID:  lease.ID(it.LeaseID),
+					dur:      b.cfg.LeaseDur,
+					deadline: deadline,
+				}
+				if b.startRenewer(n, ext.Name, g, deadline.Sub(now), trace.SpanContext{}) {
+					res.Adopted = append(res.Adopted, ext.Name)
+				}
+			} else if it.DeadlineMillis > 0 {
+				// Renewer already running: the receiver's deadline is the
+				// truth — adopt it into the checkpoint.
+				b.mu.Lock()
+				if g, ok := n.grants[ext.Name]; ok && g.deadline.UnixMilli() != it.DeadlineMillis {
+					g.deadline = time.UnixMilli(it.DeadlineMillis)
+					n.grants[ext.Name] = g
+					b.journalNodeLocked(n)
+				}
+				b.mu.Unlock()
+			}
+			// A newer version at the node than in the policy set is left
+			// alone: reconciliation never downgrades.
+		}
+	}
+
+	// Whatever remains came from this base but is no longer desired: an
+	// orphan of a revoke that was lost during the partition.
+	orphans := make([]string, 0, len(mine))
+	for name := range mine {
+		orphans = append(orphans, name)
+	}
+	sort.Strings(orphans)
+	for _, name := range orphans {
+		b.stopRenewer(addr, name)
+		octx, ocancel := context.WithTimeout(rctx, b.cfg.CallTimeout)
+		_, err := transport.Invoke[RevokeReq, EmptyResp](octx, b.caller, addr, MethodRevoke, RevokeReq{Name: name})
+		ocancel()
+		if err != nil {
+			if res.Err == "" {
+				res.Err = err.Error()
+			}
+			b.log("revoke", n.id, name, "failed: "+err.Error())
+			continue
+		}
+		res.Revoked = append(res.Revoked, name)
+		b.log("revoke", n.id, name, "orphan cleaned by reconciliation")
+	}
+
+	res.InSync = res.Err == "" && len(res.Repushed) == 0 && len(res.Revoked) == 0 &&
+		len(res.Adopted) == 0 && !res.Promoted
+	sp.Annotatef("repushed=%d revoked=%d adopted=%d promoted=%v",
+		len(res.Repushed), len(res.Revoked), len(res.Adopted), res.Promoted)
+	sp.End(nil)
+	b.noteReconcile(addr, res)
+	return res
+}
+
+// noteReconcile records a round's outcome for status reporting and bumps the
+// drift counters.
+func (b *Base) noteReconcile(addr string, res ReconcileResult) {
+	b.mu.Lock()
+	b.lastReconcile[addr] = res
+	b.stats.Repushes += uint64(len(res.Repushed))
+	b.stats.Orphans += uint64(len(res.Revoked))
+	b.stats.Adopts += uint64(len(res.Adopted))
+	if res.Err != "" {
+		b.stats.Errors++
+	}
+	m := b.m
+	b.mu.Unlock()
+	m.reconRepushes.Add(uint64(len(res.Repushed)))
+	m.reconOrphans.Add(uint64(len(res.Revoked)))
+	m.reconAdopts.Add(uint64(len(res.Adopted)))
+	if res.Err != "" {
+		m.reconErrors.Inc()
+	}
+}
+
+// Status reports the base's per-node state — adapted or degraded, circuit
+// state, held extensions, last reconcile outcome — plus the aggregate drift
+// counters. Served over the fabric as base.status for midasctl.
+func (b *Base) Status() BaseStatusResp {
+	b.mu.Lock()
+	resp := BaseStatusResp{Name: b.cfg.Name, Addr: b.cfg.Addr, Drift: b.stats}
+	for _, e := range b.extensions {
+		resp.Extensions = append(resp.Extensions, fmt.Sprintf("%s@v%d", e.Name, e.Version))
+	}
+	for addr, n := range b.adapted {
+		exts := make([]string, 0, len(n.grants))
+		for name := range n.grants {
+			exts = append(exts, name)
+		}
+		sort.Strings(exts)
+		resp.Nodes = append(resp.Nodes, NodeStatus{
+			ID:            n.id,
+			Addr:          addr,
+			State:         "adapted",
+			Exts:          exts,
+			LastReconcile: b.lastReconcile[addr],
+		})
+	}
+	for addr, id := range b.degraded {
+		resp.Nodes = append(resp.Nodes, NodeStatus{
+			ID:            id,
+			Addr:          addr,
+			State:         "degraded",
+			LastReconcile: b.lastReconcile[addr],
+		})
+	}
+	b.mu.Unlock()
+	for i := range resp.Nodes {
+		resp.Nodes[i].Breaker = b.cfg.Breaker.State(resp.Nodes[i].Addr).String()
+	}
+	sort.Slice(resp.Nodes, func(i, j int) bool { return resp.Nodes[i].Addr < resp.Nodes[j].Addr })
+	return resp
+}

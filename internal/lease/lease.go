@@ -143,6 +143,34 @@ func (g *Grantor) GrantCtx(ctx context.Context, d time.Duration, onExpire func(I
 	return l
 }
 
+// Restore re-registers a grant recovered from a durable journal under its
+// original ID and absolute expiry instant. Unlike Grant, no fresh window is
+// opened: a lease whose deadline already passed during the crash is restored
+// expired and fires onExpire on the next sweep, so replay after a long
+// outage converges exactly like an uninterrupted run would have. d records
+// the originally granted duration (what renewals extend by).
+func (g *Grantor) Restore(id ID, expiry time.Time, d time.Duration, onExpire func(ID)) Lease {
+	l := Lease{ID: id, Expiry: expiry, Duration: d}
+	g.mu.Lock()
+	g.grants[id] = &grant{lease: l, onExpire: onExpire}
+	g.m.grants.Inc()
+	g.m.active.Set(int64(len(g.grants)))
+	g.tracer.Eventf(nil, "lease", "restore %s (expiry %s)", id, expiry.Format(time.RFC3339))
+	g.mu.Unlock()
+	return l
+}
+
+// Deadline returns the absolute expiry instant of a tracked lease.
+func (g *Grantor) Deadline(id ID) (time.Time, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gr, ok := g.grants[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	return gr.lease.Expiry, true
+}
+
 // Renew extends the lease by d from now.
 func (g *Grantor) Renew(id ID, d time.Duration) (Lease, error) {
 	return g.RenewCtx(context.Background(), id, d)

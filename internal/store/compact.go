@@ -88,6 +88,11 @@ func (kv *KV) Compact() error {
 	if kv.closed {
 		return ErrClosed
 	}
+	return kv.compactLocked()
+}
+
+// compactLocked does the journal rewrite. Callers hold kv.mu.
+func (kv *KV) compactLocked() error {
 	if kv.f == nil {
 		return nil // in-memory KV has nothing to compact
 	}

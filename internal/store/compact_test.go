@@ -3,6 +3,7 @@ package store
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -138,5 +139,46 @@ func TestKVCompactInMemoryNoop(t *testing.T) {
 	}
 	if v, ok := kv.Get("k"); !ok || string(v) != "v" {
 		t.Error("in-memory compact damaged data")
+	}
+}
+
+// TestKVAutoCompact: after the configured write budget, the journal is
+// rewritten to one line per live key without losing state.
+func TestKVAutoCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "auto.kv")
+	kv, err := OpenKV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.SetAutoCompact(10)
+	for i := 0; i < 25; i++ {
+		if err := kv.Put("hot", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(raw), "\n")
+	// 25 writes with compaction every 10: never more than ~10 journal lines
+	// survive, instead of 25.
+	if lines > 10 {
+		t.Fatalf("journal has %d lines after auto-compaction, want <= 10", lines)
+	}
+	kv2, err := OpenKV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	v, ok := kv2.Get("hot")
+	if !ok || v[0] != 24 {
+		t.Fatalf("reloaded value = %v, %v; want [24]", v, ok)
+	}
+	if kv2.Version("hot") != 25 {
+		t.Fatalf("version = %d, want 25 (preserved across compaction)", kv2.Version("hot"))
 	}
 }

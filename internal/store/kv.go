@@ -19,6 +19,9 @@ type KV struct {
 	f      *os.File
 	w      *bufio.Writer
 	closed bool
+
+	autoCompactEvery int // journal writes between automatic compactions (0 = never)
+	writesSinceComp  int
 }
 
 type kvEntry struct {
@@ -65,6 +68,16 @@ func OpenKV(path string) (*KV, error) {
 	return kv, nil
 }
 
+// SetAutoCompact makes the KV rewrite its journal to the live state after
+// every n journaled writes, bounding file growth for callers that update the
+// same keys forever (e.g. lease-deadline checkpoints). n <= 0 disables
+// automatic compaction. No-op for in-memory KVs.
+func (kv *KV) SetAutoCompact(n int) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.autoCompactEvery = n
+}
+
 func (kv *KV) applyLocked(e kvEntry) {
 	if e.Value == nil {
 		delete(kv.data, e.Key)
@@ -90,7 +103,7 @@ func (kv *KV) Put(key string, value []byte) error {
 		return err
 	}
 	kv.applyLocked(e)
-	return nil
+	return kv.maybeAutoCompactLocked()
 }
 
 // Delete removes key.
@@ -105,7 +118,21 @@ func (kv *KV) Delete(key string) error {
 		return err
 	}
 	kv.applyLocked(e)
-	return nil
+	return kv.maybeAutoCompactLocked()
+}
+
+// maybeAutoCompactLocked compacts once the configured write budget is spent.
+// Callers hold kv.mu.
+func (kv *KV) maybeAutoCompactLocked() error {
+	if kv.w == nil || kv.autoCompactEvery <= 0 {
+		return nil
+	}
+	kv.writesSinceComp++
+	if kv.writesSinceComp < kv.autoCompactEvery {
+		return nil
+	}
+	kv.writesSinceComp = 0
+	return kv.compactLocked()
 }
 
 // Get returns the value and whether the key exists. The returned slice is a
