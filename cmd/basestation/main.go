@@ -12,7 +12,9 @@
 // With -state-dir, adapted nodes and lease grants are journalled and a
 // restarted base resumes its renewals instead of starting blank; -reconcile
 // sets the anti-entropy period and -breaker-threshold/-breaker-cooldown tune
-// the per-node circuit breaker.
+// the per-node circuit breaker. With -admission, extensions must pass the
+// static capability analysis against the given allowlist (e.g.
+// -admission store,clock) before they join the policy set.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"repro/internal/ext"
 	"repro/internal/metrics"
 	"repro/internal/registry"
+	"repro/internal/sandbox"
 	"repro/internal/sign"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -66,12 +69,13 @@ func run() error {
 		reconcile = flag.Duration("reconcile", 30*time.Second, "anti-entropy reconciliation period (0 disables)")
 		brkThresh = flag.Int("breaker-threshold", 3, "consecutive failures before a node's circuit opens")
 		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "circuit open time before a half-open probe")
+		admission = flag.String("admission", "", "comma-separated capability allowlist enforced at admission (empty = declared caps only)")
 		exts      extFlags
 	)
 	flag.Var(&exts, "ext", "extension preset, repeatable: hwmonitor | logger | accesscontrol:allow=a,b")
 	flag.Parse()
 
-	tracer := trace.New(time.Now().UnixNano())
+	tracer := trace.New(clock.Real{}.Now().UnixNano())
 
 	signer, err := sign.NewSigner(*name)
 	if err != nil {
@@ -112,10 +116,21 @@ func run() error {
 		}
 		defer journal.Close()
 	}
-	breaker := transport.NewBreakerSet(time.Now().UnixNano(), transport.BreakerConfig{
+	breaker := transport.NewBreakerSet(clock.Real{}.Now().UnixNano(), transport.BreakerConfig{
 		Threshold: *brkThresh,
 		Cooldown:  *brkCool,
 	})
+
+	var admissionPolicy sandbox.Policy
+	if *admission != "" {
+		var caps []sandbox.Capability
+		for _, c := range strings.Split(*admission, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				caps = append(caps, sandbox.Capability(c))
+			}
+		}
+		admissionPolicy = sandbox.Allowlist(caps...)
+	}
 
 	base, err := core.NewBase(core.BaseConfig{
 		Name:           *name,
@@ -127,6 +142,7 @@ func run() error {
 		Journal:        journal,
 		Breaker:        breaker,
 		ReconcileEvery: *reconcile,
+		Admission:      admissionPolicy,
 	})
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@
 //	midasctl -lookup 127.0.0.1:7000 services
 //	midasctl -base 127.0.0.1:7000 records [robot]
 //	midasctl -base 127.0.0.1:7000 status
+//	midasctl -base 127.0.0.1:7000 analyze <extension>
 package main
 
 import (
@@ -46,7 +47,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: list | revoke <name> | metrics | trace [query] | services | records [robot] | status")
+		return fmt.Errorf("need a subcommand: list | revoke <name> | metrics | trace [query] | services | records [robot] | status | analyze <name>")
 	}
 
 	caller := transport.NewTCPCaller()
@@ -149,6 +150,16 @@ func run() error {
 			fmt.Printf("%6d  %-14s %-10s %-12s %6d  at %d\n", r.Seq, r.Robot, r.Device, r.Action, r.Value, r.AtMillis)
 		}
 		fmt.Printf("%d records\n", len(resp.Records))
+	case "analyze":
+		if *baseAddr == "" || len(args) < 2 {
+			return fmt.Errorf("analyze needs -base and an extension name")
+		}
+		resp, err := transport.Invoke[core.AnalyzeReq, core.AnalyzeResp](ctx, caller, *baseAddr,
+			core.MethodBaseAnalyze, core.AnalyzeReq{Ext: args[1]})
+		if err != nil {
+			return err
+		}
+		writeAnalysis(os.Stdout, resp.Report)
 	case "status":
 		if *baseAddr == "" {
 			return fmt.Errorf("status needs -base")
@@ -162,6 +173,23 @@ func run() error {
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
 	return nil
+}
+
+// writeAnalysis renders one extension's stored admission analysis.
+func writeAnalysis(w io.Writer, rep core.AnalysisReport) {
+	fmt.Fprintf(w, "extension %s v%d\n", rep.Ext, rep.Version)
+	fmt.Fprintf(w, "inferred capabilities: %s\n", strings.Join(rep.Caps, ", "))
+	if len(rep.HostCalls) > 0 {
+		fmt.Fprintf(w, "reachable host calls:  %s\n", strings.Join(rep.HostCalls, ", "))
+	}
+	if rep.FuelBounded {
+		fmt.Fprintf(w, "fuel: bounded, <= %d steps per activation\n", rep.FuelSteps)
+	} else {
+		fmt.Fprintln(w, "fuel: unbounded (interpreter cap applies)")
+	}
+	for _, warn := range rep.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
 }
 
 // writeStatus renders a base status report: policy set, one row per node with

@@ -68,7 +68,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	tracer := trace.New(time.Now().UnixNano())
+	tracer := trace.New(clock.Real{}.Now().UnixNano())
 
 	weaver := weave.New()
 	canvas := plotter.NewCanvas(40, 20)
@@ -222,13 +222,12 @@ func run() error {
 	defer stopAdv()
 	log.Printf("advertised adaptation service at lookup %s", *lookup)
 
-	ticker := time.NewTicker(5 * time.Second)
-	defer ticker.Stop()
+	statusClock := clock.Real{}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	for {
 		select {
-		case <-ticker.C:
+		case <-statusClock.After(5 * time.Second):
 			var names []string
 			for _, i := range receiver.Installed() {
 				names = append(names, fmt.Sprintf("%s@v%d", i.Name, i.Version))

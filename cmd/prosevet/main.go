@@ -1,0 +1,92 @@
+// Command prosevet runs the LVM static admission analyses — typed
+// verification, capability inference and cost bounding — over assembled
+// mobile-code files, the same pipeline core.Base applies before signing an
+// extension. It prints, per method, the inferred capability set, the host
+// functions reachable from it and the static fuel verdict, and exits nonzero
+// if any file is rejected.
+//
+// Usage:
+//
+//	prosevet [-q] file.lasm [file.lasm ...]
+//	prosevet examples/advice/*.lasm
+//
+// Flags:
+//
+//	-q  only report rejections and warnings, not per-method detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lvm"
+	"repro/internal/lvm/analysis"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "only report rejections and warnings")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: prosevet [-q] file.lasm ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		if err := vetFile(os.Stdout, path, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "prosevet: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func vetFile(w *os.File, path string, quiet bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := lvm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	rep, err := analysis.AnalyzeProgram(prog)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(w, "%s:\n", path)
+		names := make([]string, 0, len(rep.Methods))
+		for name := range rep.Methods {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := rep.Methods[name]
+			fuel := "unbounded"
+			if m.Fuel.Bounded {
+				fuel = fmt.Sprintf("<= %d steps", m.Fuel.Steps)
+			}
+			caps := "none"
+			if len(m.Caps) > 0 {
+				parts := make([]string, len(m.Caps))
+				for i, c := range m.Caps {
+					parts[i] = string(c)
+				}
+				caps = strings.Join(parts, ", ")
+			}
+			fmt.Fprintf(w, "  %s: caps {%s}  fuel %s\n", name, caps, fuel)
+			for _, fn := range m.HostCalls {
+				fmt.Fprintf(w, "    hostcall %s\n", fn)
+			}
+		}
+	}
+	for _, warn := range rep.Warnings {
+		fmt.Fprintf(w, "%s: warning: %s\n", path, warn)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/aop"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/discovery"
 	"repro/internal/lvm"
@@ -184,8 +185,9 @@ func extNames(r *core.Receiver) []string {
 }
 
 func waitFor(cond func() bool) {
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
+	clk := clock.Real{}
+	deadline := clk.Now().Add(5 * time.Second)
+	for !cond() && clk.Now().Before(deadline) {
+		<-clk.After(2 * time.Millisecond)
 	}
 }

@@ -196,8 +196,9 @@ func shortErr(err error) string {
 }
 
 func waitFor(cond func() bool) {
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
+	clk := clock.Real{}
+	deadline := clk.Now().Add(5 * time.Second)
+	for !cond() && clk.Now().Before(deadline) {
+		<-clk.After(2 * time.Millisecond)
 	}
 }

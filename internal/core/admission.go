@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/lvm"
+	"repro/internal/lvm/analysis"
+	"repro/internal/sandbox"
+)
+
+// builtinCaps maps builtin advice names to the capabilities their factories
+// exercise. Builtins are native Go compiled into the node, so nothing can be
+// inferred from bytecode; their authors declare the set here (ext.RegisterAll
+// does it for the stock builtins) and admission unions it with what the
+// analyzer infers from mobile code.
+var (
+	builtinCapsMu sync.RWMutex
+	builtinCaps   = make(map[string][]sandbox.Capability)
+)
+
+// RegisterBuiltinCaps declares the capability set a builtin advice factory
+// needs at run time, for admission-time checking.
+func RegisterBuiltinCaps(name string, caps ...sandbox.Capability) {
+	builtinCapsMu.Lock()
+	defer builtinCapsMu.Unlock()
+	builtinCaps[name] = append([]sandbox.Capability(nil), caps...)
+}
+
+// BuiltinCaps returns the declared capability set of a builtin, and whether
+// the builtin has one registered.
+func BuiltinCaps(name string) ([]sandbox.Capability, bool) {
+	builtinCapsMu.RLock()
+	defer builtinCapsMu.RUnlock()
+	caps, ok := builtinCaps[name]
+	return append([]sandbox.Capability(nil), caps...), ok
+}
+
+// AnalysisReport is the stored (and wire) form of one extension's admission
+// analysis: the exact capability set its advice can exercise, the static fuel
+// verdict of its mobile code, and non-fatal findings. Bases keep the report
+// of every admitted extension and serve it over base.analyze.
+type AnalysisReport struct {
+	Ext     string
+	Version int
+	// Caps is the full inferred capability set, always-granted namespaces
+	// (ctx, log) included, sorted.
+	Caps []string
+	// HostCalls lists every host function reachable from mobile advice.
+	HostCalls []string
+	// FuelBounded / FuelSteps summarise the cost analysis over all mobile
+	// advice: bounded only if every advice is, Steps is the largest bound.
+	FuelBounded bool
+	FuelSteps   int
+	Warnings    []string
+}
+
+// alwaysGranted are the namespaces sandbox.NewHost grants unconditionally;
+// admission must not demand they be declared or admitted by policy.
+var alwaysGranted = map[sandbox.Capability]bool{
+	sandbox.CapCtx: true,
+	sandbox.CapLog: true,
+}
+
+// Demand returns the capabilities the extension actually needs granted: the
+// inferred set minus the always-granted namespaces, sorted.
+func (r *AnalysisReport) Demand() []sandbox.Capability {
+	var out []sandbox.Capability
+	for _, c := range r.Caps {
+		if cap := sandbox.Capability(c); !alwaysGranted[cap] {
+			out = append(out, cap)
+		}
+	}
+	return out
+}
+
+// AnalyzeExtension runs the static admission analysis over every advice of
+// ext: mobile code is assembled and fed through the bytecode analyzer
+// (typed verification, capability inference, cost bounds — a type-confused or
+// fall-off method rejects the extension here), builtin advices contribute
+// their registered capability sets. The returned report's Caps is the union,
+// which is exactly what the extension can ever demand from a node's sandbox.
+func AnalyzeExtension(ext Extension) (*AnalysisReport, error) {
+	rep := &AnalysisReport{Ext: ext.Name, Version: ext.Version, FuelBounded: true}
+	capSet := make(map[sandbox.Capability]bool)
+	callSet := make(map[string]bool)
+	for i := range ext.Advices {
+		spec := &ext.Advices[i]
+		if spec.Builtin != "" {
+			caps, known := BuiltinCaps(spec.Builtin)
+			if !known {
+				// An unregistered builtin resolves only at the receiving node;
+				// fall back to trusting the declared set, but say so.
+				rep.Warnings = append(rep.Warnings,
+					fmt.Sprintf("advice %q: builtin %q has no registered capability set; trusting declared caps", spec.Name, spec.Builtin))
+				for _, c := range ext.Capabilities() {
+					capSet[c] = true
+				}
+				continue
+			}
+			for _, c := range caps {
+				capSet[c] = true
+			}
+			continue
+		}
+		mrep, warns, err := analyzeAdviceCode(spec.Code)
+		if err != nil {
+			return nil, fmt.Errorf("core: extension %q advice %q: %w", ext.Name, spec.Name, err)
+		}
+		for _, w := range warns {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("advice %q: %s", spec.Name, w))
+		}
+		for _, c := range mrep.Caps {
+			capSet[c] = true
+		}
+		for _, fn := range mrep.HostCalls {
+			callSet[fn] = true
+		}
+		if !mrep.Fuel.Bounded {
+			rep.FuelBounded = false
+		} else if mrep.Fuel.Steps > rep.FuelSteps {
+			rep.FuelSteps = mrep.Fuel.Steps
+		}
+	}
+	for c := range capSet {
+		rep.Caps = append(rep.Caps, string(c))
+	}
+	sort.Strings(rep.Caps)
+	for fn := range callSet {
+		rep.HostCalls = append(rep.HostCalls, fn)
+	}
+	sort.Strings(rep.HostCalls)
+	if !rep.FuelBounded {
+		rep.FuelSteps = 0
+	}
+	return rep, nil
+}
+
+// analyzeAdviceCode assembles one mobile advice and analyses its entry
+// method, enforcing the same structural shape CompileAdvice requires.
+func analyzeAdviceCode(source string) (*analysis.MethodReport, []string, error) {
+	prog, err := lvm.Assemble(source)
+	if err != nil {
+		return nil, nil, err
+	}
+	cls := prog.Class(AdviceClass)
+	if cls == nil {
+		return nil, nil, fmt.Errorf("advice code must define class %s", AdviceClass)
+	}
+	meth := cls.Methods[AdviceMethod]
+	if meth == nil {
+		return nil, nil, fmt.Errorf("advice code must define %s.%s()", AdviceClass, AdviceMethod)
+	}
+	if meth.Arity() != 0 {
+		return nil, nil, fmt.Errorf("%s.%s must take no parameters", AdviceClass, AdviceMethod)
+	}
+	full, err := analysis.AnalyzeProgram(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	mrep := full.Method(AdviceClass, AdviceMethod)
+	return mrep, full.Warnings, nil
+}
+
+// CheckAdmission decides whether an extension may be admitted: every
+// capability its advice can exercise (beyond the always-granted ones) must be
+// declared in ext.Caps — receivers grant permissions from the declaration, so
+// an under-declared extension would abort inside a node's sandbox — and, when
+// a policy is given, the policy must grant the whole demand. The error names
+// the exact missing capabilities via sandbox.Perms.Diff.
+func CheckAdmission(ext Extension, rep *AnalysisReport, policy sandbox.Policy, signer string) error {
+	demand := rep.Demand()
+	declared := sandbox.NewPerms(ext.Capabilities()...)
+	if missing := declared.Diff(demand); len(missing) > 0 {
+		return fmt.Errorf("core: extension %q uses undeclared capabilities %v (declares %s)",
+			ext.Name, missing, declared)
+	}
+	if policy == nil {
+		return nil
+	}
+	perms, err := policy.Grant(signer, demand)
+	if err != nil {
+		return fmt.Errorf("core: extension %q refused by admission policy: %w", ext.Name, err)
+	}
+	if missing := perms.Diff(demand); len(missing) > 0 {
+		return fmt.Errorf("core: extension %q needs capabilities %v beyond admission grant %s",
+			ext.Name, missing, perms)
+	}
+	return nil
+}
+
+// Wire surface for stored analysis reports.
+
+// MethodBaseAnalyze serves the stored admission report of an extension.
+const MethodBaseAnalyze = "base.analyze"
+
+type (
+	// AnalyzeReq names the extension whose report is wanted.
+	AnalyzeReq struct {
+		Ext string
+	}
+	// AnalyzeResp returns the stored report.
+	AnalyzeResp struct {
+		Report AnalysisReport
+	}
+)

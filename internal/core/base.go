@@ -11,6 +11,7 @@ import (
 	"repro/internal/lease"
 	"repro/internal/metrics"
 	"repro/internal/registry"
+	"repro/internal/sandbox"
 	"repro/internal/sign"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -86,6 +87,13 @@ type BaseConfig struct {
 	// set, missing extensions re-pushed, orphans revoked and receiver lease
 	// deadlines adopted.
 	ReconcileEvery time.Duration
+	// Admission, when set, is the capability policy extensions must satisfy
+	// at admission time: static analysis infers the exact capability set each
+	// extension's advice can exercise, and an extension whose inferred demand
+	// the policy refuses is rejected by AddExtension/ReplaceExtension — before
+	// it is ever signed, pushed or woven anywhere. Nil skips the policy check
+	// but still rejects extensions using capabilities they do not declare.
+	Admission sandbox.Policy
 }
 
 // BaseActivity is one entry of the base's distribution log (§3.2: each base
@@ -137,7 +145,10 @@ type Base struct {
 
 	mu         sync.Mutex
 	extensions []Extension
-	adapted    map[string]*adaptedNode // by node addr
+	// reports holds the admission analysis of every accepted extension, by
+	// name; served over base.analyze and consulted by midasctl analyze.
+	reports map[string]AnalysisReport
+	adapted map[string]*adaptedNode // by node addr
 	// degraded parks nodes whose circuit was open when renewals failed: they
 	// are presumed partitioned (not departed) and wait for reconciliation.
 	degraded      map[string]string // node addr -> node id
@@ -163,6 +174,7 @@ type baseMetrics struct {
 	adapts      *metrics.Counter
 	pushes      *metrics.Counter
 	pushErrors  *metrics.Counter
+	admRejected *metrics.Counter
 	departures  *metrics.Counter
 	revokes     *metrics.Counter
 	roamHints   *metrics.Counter
@@ -195,6 +207,7 @@ func (b *Base) Instrument(reg *metrics.Registry) {
 		adapts:        reg.Counter("base.adapts"),
 		pushes:        reg.Counter("base.pushes"),
 		pushErrors:    reg.Counter("base.push_errors"),
+		admRejected:   reg.Counter("base.admission_rejected"),
 		departures:    reg.Counter("base.departures"),
 		revokes:       reg.Counter("base.revokes"),
 		roamHints:     reg.Counter("base.roam_hints"),
@@ -236,6 +249,7 @@ func NewBase(cfg BaseConfig) (*Base, error) {
 		// nil Policy / nil Breaker leave the caller bare. The breaker wraps
 		// outermost so an open circuit fast-fails before the retry loop runs.
 		caller:        cfg.Breaker.Wrap(cfg.Policy.Wrap(cfg.Caller)),
+		reports:       make(map[string]AnalysisReport),
 		adapted:       make(map[string]*adaptedNode),
 		degraded:      make(map[string]string),
 		lastReconcile: make(map[string]ReconcileResult),
@@ -290,10 +304,56 @@ func (b *Base) AddNeighbor(addr string) {
 	b.neighbors = append(b.neighbors, addr)
 }
 
-// AddExtension adds ext to the base's policy set and pushes it to every
-// currently adapted node.
+// admit runs the static admission pipeline over ext: analyze (typed
+// verification, capability inference, cost bounds), then check the inferred
+// demand against the declaration and the base's Admission policy. A rejection
+// increments base.admission_rejected; an accepted extension's report is
+// stored for the base.analyze RPC. The whole decision is one traced
+// "base.admit" span.
+func (b *Base) admit(ext Extension) error {
+	_, sp := b.traceRef().StartSpan(context.Background(), "base.admit")
+	sp.Tag("ext", ext.Name)
+	err := func() error {
+		rep, err := AnalyzeExtension(ext)
+		if err != nil {
+			return err
+		}
+		sp.Annotatef("inferred caps %v", rep.Caps)
+		if err := CheckAdmission(ext, rep, b.cfg.Admission, b.cfg.Signer.Name); err != nil {
+			return err
+		}
+		b.mu.Lock()
+		b.reports[ext.Name] = *rep
+		b.mu.Unlock()
+		return nil
+	}()
+	sp.End(err)
+	if err != nil {
+		b.mu.Lock()
+		b.m.admRejected.Inc()
+		b.mu.Unlock()
+		b.log("admit-reject", "", ext.Name, err.Error())
+	}
+	return err
+}
+
+// AnalysisFor returns the stored admission report of a policy-set extension.
+func (b *Base) AnalysisFor(name string) (AnalysisReport, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rep, ok := b.reports[name]
+	return rep, ok
+}
+
+// AddExtension analyses ext, admits it against the base's admission policy,
+// adds it to the policy set and pushes it to every currently adapted node. An
+// extension whose inferred capability demand exceeds its declaration or the
+// admission policy never gets signed or pushed.
 func (b *Base) AddExtension(ext Extension) error {
 	if err := ext.Validate(); err != nil {
+		return err
+	}
+	if err := b.admit(ext); err != nil {
 		return err
 	}
 	b.mu.Lock()
@@ -319,6 +379,9 @@ func (b *Base) AddExtension(ext Extension) error {
 // pushes it to every adapted node (policy evolution, §3.2).
 func (b *Base) ReplaceExtension(ext Extension) error {
 	if err := ext.Validate(); err != nil {
+		return err
+	}
+	if err := b.admit(ext); err != nil {
 		return err
 	}
 	b.mu.Lock()
@@ -365,6 +428,7 @@ func (b *Base) RemoveExtension(name string) error {
 		return fmt.Errorf("core: base has no extension %q", name)
 	}
 	b.extensions = append(b.extensions[:idx], b.extensions[idx+1:]...)
+	delete(b.reports, name)
 	nodes := b.adaptedNodesLocked()
 	b.mu.Unlock()
 
@@ -974,6 +1038,13 @@ func (b *Base) ServeOn(mux *transport.Mux) {
 	})
 	transport.Register(mux, MethodBaseStatus, func(_ context.Context, _ EmptyResp) (BaseStatusResp, error) {
 		return b.Status(), nil
+	})
+	transport.Register(mux, MethodBaseAnalyze, func(_ context.Context, req AnalyzeReq) (AnalyzeResp, error) {
+		rep, ok := b.AnalysisFor(req.Ext)
+		if !ok {
+			return AnalyzeResp{}, fmt.Errorf("core: base %s has no analysis for extension %q", b.cfg.Name, req.Ext)
+		}
+		return AnalyzeResp{Report: rep}, nil
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/aop"
 	"repro/internal/lvm"
+	"repro/internal/lvm/analysis"
 )
 
 // Env is the node-side environment handed to advice bodies: the (gated) host
@@ -81,6 +82,10 @@ const (
 	AdviceMethod = "advice"
 )
 
+// defaultAdviceMaxSteps is the interpreter budget for advice whose cost the
+// static analyzer could not bound (loops, recursion).
+const defaultAdviceMaxSteps = 200_000
+
 // CompileAdvice assembles mobile advice source and wraps it as an aop.Body
 // whose host calls go through the node's sandboxed host plus the ctx.*
 // join-point accessors.
@@ -100,16 +105,28 @@ func CompileAdvice(source string, host lvm.Host) (aop.Body, error) {
 	if meth.Arity() != 0 {
 		return nil, fmt.Errorf("core: %s.%s must take no parameters", AdviceClass, AdviceMethod)
 	}
-	// Mobile code is verified before it is ever executed: operand ranges,
-	// jump targets and stack discipline (complementing the run-time sandbox
-	// and step budget).
-	if err := lvm.VerifyProgram(prog); err != nil {
+	// Mobile code is verified before it is ever executed: the static analyzer
+	// checks operand ranges, jump targets, stack discipline and typed operand
+	// use across all paths (strictly stronger than lvm.VerifyProgram), and
+	// its cost analysis sizes the interpreter's fuel budget.
+	rep, err := analysis.AnalyzeProgram(prog)
+	if err != nil {
 		return nil, fmt.Errorf("core: advice code rejected: %w", err)
 	}
 	b := &codeBody{prog: prog, meth: meth, self: cls.New()}
 	b.interp = lvm.NewInterp(prog, &ctxHost{inner: host, body: b})
-	b.interp.MaxSteps = 200_000 // extension advice must be short
+	b.interp.MaxSteps = int64(adviceMaxSteps(rep.Method(AdviceClass, AdviceMethod).Fuel))
 	return b, nil
+}
+
+// adviceMaxSteps converts a static fuel verdict into an interpreter budget:
+// provably bounded advice runs under its exact bound (small slack for the
+// invoke overhead), everything else keeps the legacy fixed cap.
+func adviceMaxSteps(f analysis.Fuel) int {
+	if f.Bounded {
+		return f.Steps + 8
+	}
+	return defaultAdviceMaxSteps
 }
 
 // codeBody executes one mobile advice method. Executions are serialised per

@@ -407,16 +407,53 @@ end`,
 		// Note: no Caps requested.
 	}
 	signed, _ := Sign(n.signer, ext)
-	if _, err := n.receiver.Install(signed, "base-1", time.Minute); err != nil {
-		t.Fatal(err)
+	// The pre-weave static analysis catches the undeclared capability before
+	// the advice is ever woven, let alone run.
+	if _, err := n.receiver.Install(signed, "base-1", time.Minute); err == nil ||
+		!strings.Contains(err.Error(), "beyond grant") {
+		t.Fatalf("want pre-weave capability rejection, got %v", err)
 	}
 	site := n.weaver.RegisterMethodSite(aop.MethodEntry, aop.Signature{Class: "Motor", Method: "stop", Return: "void"})
-	err := site.Dispatch(&aop.Context{Sig: site.Sig})
+	if err := site.Dispatch(&aop.Context{Sig: site.Sig}); err != nil {
+		t.Fatalf("rejected extension still intercepts: %v", err)
+	}
+	if len(*n.hostLog) != 0 {
+		t.Error("gated call leaked through")
+	}
+}
+
+func TestMobileCodeRuntimeSandboxDefense(t *testing.T) {
+	// Defense in depth: even if an over-privileged advice body is compiled
+	// against a node host (bypassing install-time analysis), the sandbox still
+	// refuses the call at run time and the violation names the missing
+	// capability and the granted set.
+	var hostLog []string
+	inner := lvm.HostMap{
+		"net.post": func(args []lvm.Value) (lvm.Value, error) {
+			hostLog = append(hostLog, "net.post")
+			return lvm.Bool(true), nil
+		},
+	}
+	host := sandbox.NewHost(inner, sandbox.NewPerms())
+	body, err := CompileAdvice(`
+class Ext
+  method void advice()
+    hostcall net.post 0
+    pop
+  end
+end`, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = body.Exec(&aop.Context{Sig: aop.Signature{Class: "Motor", Method: "rotate"}})
 	var v *sandbox.Violation
 	if !errors.As(err, &v) {
 		t.Fatalf("want sandbox violation, got %v", err)
 	}
-	if len(*n.hostLog) != 0 {
+	if v.Capability != sandbox.CapNet {
+		t.Errorf("violation names cap %q, want net", v.Capability)
+	}
+	if len(hostLog) != 0 {
 		t.Error("gated call leaked through")
 	}
 }

@@ -309,6 +309,20 @@ func (r *Receiver) install(ctx context.Context, ext Extension, signer, baseAddr 
 	if err != nil {
 		return "", "", err
 	}
+	// Pre-weave defense in depth: re-infer the capability demand of the
+	// extension's advice on this side of the wire. The base already admitted
+	// it, but a compromised base could sign and push code whose inferred
+	// capabilities exceed both its declaration and this node's grant — the
+	// signature would still verify, so the receiver must not take the
+	// declared set at face value.
+	rep, err := AnalyzeExtension(ext)
+	if err != nil {
+		return "", "", fmt.Errorf("core: extension %q rejected by pre-weave analysis: %w", ext.Name, err)
+	}
+	if missing := perms.Diff(rep.Demand()); len(missing) > 0 {
+		return "", "", fmt.Errorf("core: extension %q advice can exercise capabilities %v beyond grant %s",
+			ext.Name, missing, perms)
+	}
 	gated := sandbox.NewHost(r.cfg.Host, perms)
 	env := &Env{NodeName: r.cfg.NodeName, BaseAddr: baseAddr, Host: gated, Extras: r.cfg.Extras}
 

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/lease"
 	"repro/internal/sign"
 	"repro/internal/transport"
@@ -65,6 +66,8 @@ type SpaceListener struct {
 	// LeaseDur is the local lease granted per installed extension; it must
 	// comfortably exceed Poll (default 4×Poll).
 	LeaseDur time.Duration
+	// Clock paces the scan loop (default: the real clock).
+	Clock clock.Clock
 
 	leases map[string]string // "name@version" -> lease id
 }
@@ -85,14 +88,16 @@ func (l *SpaceListener) Run(ctx context.Context) error {
 	if l.leases == nil {
 		l.leases = make(map[string]string)
 	}
-	ticker := time.NewTicker(poll)
-	defer ticker.Stop()
+	clk := l.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	for {
 		l.Scan(leaseDur)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-ticker.C:
+		case <-clk.After(poll):
 		}
 	}
 }

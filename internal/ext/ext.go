@@ -35,6 +35,27 @@ const SessionCallerKey = "session.caller"
 // SessionBundleName names the implicit session-management extension.
 const SessionBundleName = "session"
 
+// Each builtin's run-time capability demand is declared for admission-time
+// checking: builtins are native Go, so the base's static analyzer cannot
+// infer these from bytecode the way it does for mobile advice. This runs at
+// package init (not in RegisterAll) because base stations admit extensions
+// without ever installing the receiver-side factories. Namespaces the
+// sandbox always grants (ctx, log) are omitted.
+func init() {
+	core.RegisterBuiltinCaps(BSession)
+	core.RegisterBuiltinCaps(BAccessControl)
+	core.RegisterBuiltinCaps(BLogger)
+	core.RegisterBuiltinCaps(BMonitor, sandbox.CapClock, sandbox.CapNet)
+	core.RegisterBuiltinCaps(BEncrypt)
+	core.RegisterBuiltinCaps(BDecrypt)
+	core.RegisterBuiltinCaps(BPersist, sandbox.CapStore)
+	core.RegisterBuiltinCaps(BTxn)
+	core.RegisterBuiltinCaps(BMoveControl)
+	core.RegisterBuiltinCaps(BReplicate, sandbox.CapNet)
+	core.RegisterBuiltinCaps(BAccounting, sandbox.CapClock, sandbox.CapNet)
+	core.RegisterBuiltinCaps(BAgeCheck, sandbox.CapClock)
+}
+
 // RegisterAll installs every builtin factory and the implicit bundles into b.
 func RegisterAll(b *core.Builtins) {
 	b.Register(BSession, newSession)

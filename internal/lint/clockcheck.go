@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// clockAPIs are the package-level time functions that read or block on the
+// wall clock. Durations, formatting and arithmetic stay allowed.
+var clockAPIs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+}
+
+// ClockCheck flags direct wall-clock access outside internal/clock: the
+// platform's determinism story (manual clocks in tests, the simnet scenarios)
+// depends on time flowing through the clock.Clock seam. Test files are
+// exempt, as is the clock package itself, which wraps the real clock.
+var ClockCheck = &Analyzer{
+	Name: "clockcheck",
+	Doc:  "disallow time.Now/Sleep/timers outside internal/clock; use the clock.Clock seam",
+	Run:  runClockCheck,
+}
+
+func runClockCheck(p *Pass) {
+	if p.Pkg.Dir == "internal/clock" || strings.HasSuffix(p.Pkg.Dir, "/internal/clock") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		timeName := importName(f.AST, "time")
+		if timeName == "" || timeName == "_" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeName || !clockAPIs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s reads the wall clock; route it through internal/clock", sel.Sel.Name)
+			return true
+		})
+	}
+}

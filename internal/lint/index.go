@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Index holds whole-tree facts that individual analyzers need: which method
+// names have a context-accepting twin on every type that declares them.
+// Everything is purely syntactic — receiver types are matched by name, which
+// is exactly why qualification demands unanimity across the tree.
+type Index struct {
+	// methodRecvs maps a method name to the set of "pkgDir.TypeName" receivers
+	// declaring it.
+	methodRecvs map[string]map[string]bool
+	// freeFuncs records names also declared as free functions anywhere.
+	freeFuncs map[string]bool
+}
+
+// BuildIndex scans every function declaration of every package.
+func BuildIndex(pkgs []*Package) *Index {
+	ix := &Index{
+		methodRecvs: make(map[string]map[string]bool),
+		freeFuncs:   make(map[string]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn.Recv == nil || len(fn.Recv.List) == 0 {
+					ix.freeFuncs[fn.Name.Name] = true
+					continue
+				}
+				recv := recvTypeName(fn.Recv.List[0].Type)
+				if recv == "" {
+					continue
+				}
+				key := pkg.Dir + "." + recv
+				set := ix.methodRecvs[fn.Name.Name]
+				if set == nil {
+					set = make(map[string]bool)
+					ix.methodRecvs[fn.Name.Name] = set
+				}
+				set[key] = true
+			}
+		}
+	}
+	return ix
+}
+
+// HasCtxTwin reports whether name is a context-less API with a universal
+// FooCtx twin: it is declared only as a method (never a free function), and
+// every receiver type declaring it also declares name+"Ctx". Unanimity makes
+// the purely name-based check sound enough to flag call sites without type
+// information.
+func (ix *Index) HasCtxTwin(name string) bool {
+	if strings.HasSuffix(name, "Ctx") || ix.freeFuncs[name] {
+		return false
+	}
+	recvs := ix.methodRecvs[name]
+	if len(recvs) == 0 {
+		return false
+	}
+	twins := ix.methodRecvs[name+"Ctx"]
+	for r := range recvs {
+		if !twins[r] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// runOn parses the given (path, source) pairs into per-directory packages and
+// runs the analyzers over them.
+func runOn(t *testing.T, sources map[string]string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	byDir := make(map[string]*Package)
+	for path, src := range sources {
+		f, err := ParseSource(fset, path, src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		f.Path = path
+		dir := "."
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			dir = path[:i]
+		}
+		pkg := byDir[dir]
+		if pkg == nil {
+			pkg = &Package{Dir: dir}
+			byDir[dir] = pkg
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	var pkgs []*Package
+	for _, pkg := range byDir {
+		pkgs = append(pkgs, pkg)
+	}
+	return Run(fset, pkgs, analyzers)
+}
+
+func messages(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Analyzer + ": " + d.Message
+	}
+	return out
+}
+
+func TestClockCheckFlagsWallClock(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/a.go": `package core
+import "time"
+func f() {
+	_ = time.Now()
+	time.Sleep(time.Second)
+	_ = time.NewTicker(time.Second)
+	_ = 5 * time.Second // durations are fine
+}`,
+	}, ClockCheck)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics %v, want 3", len(diags), messages(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "internal/clock") {
+			t.Errorf("diagnostic %q does not point at the clock seam", d.Message)
+		}
+	}
+}
+
+func TestClockCheckExemptsClockPackageAndAliases(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/clock/clock.go": `package clock
+import "time"
+func now() time.Time { return time.Now() }`,
+		"internal/other/b.go": `package other
+import stdtime "time"
+func f() { stdtime.Sleep(1) }`,
+		"internal/other/c.go": `package other
+func time_free() {}`,
+	}, ClockCheck)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "time.Sleep") {
+		t.Fatalf("got %v, want exactly the aliased Sleep flagged", messages(diags))
+	}
+}
+
+func TestClockCheckWaiver(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/a.go": `package core
+import "time"
+func f() {
+	_ = time.Now() //lint:allow clockcheck (reasons after the name are ignored)
+	//lint:allow clockcheck
+	time.Sleep(time.Second)
+	time.Sleep(time.Second) //lint:allow othercheck
+}`,
+	}, ClockCheck)
+	if len(diags) != 1 {
+		t.Fatalf("got %v, want only the mis-waived Sleep", messages(diags))
+	}
+}
+
+const twinDecls = `package api
+import "context"
+type Store struct{}
+func (s *Store) Put(v int) {}
+func (s *Store) PutCtx(ctx context.Context, v int) {}
+type Cache struct{}
+func (c *Cache) Put(v int) {}
+func (c *Cache) PutCtx(ctx context.Context, v int) {}
+type Log struct{}
+func (l *Log) Write(v int) {}
+`
+
+func TestCtxTwinFlagsDroppedContext(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/api/api.go": twinDecls,
+		"internal/use/use.go": `package use
+import "context"
+type store interface{ Put(int) }
+func With(ctx context.Context, s store) {
+	s.Put(1)
+}
+func Without(s store) {
+	s.Put(1) // no ctx in scope: fine
+}`,
+	}, CtxTwin)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "PutCtx") {
+		t.Fatalf("got %v, want exactly the in-scope Put flagged", messages(diags))
+	}
+}
+
+func TestCtxTwinUnanimityRequired(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/api/api.go": twinDecls + `
+type Bag struct{}
+func (b *Bag) Put(v int) {} // no PutCtx: disqualifies the name
+`,
+		"internal/use/use.go": `package use
+import "context"
+type store interface{ Put(int) }
+func With(ctx context.Context, s store) { s.Put(1) }`,
+	}, CtxTwin)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want none: Bag.Put has no twin", messages(diags))
+	}
+}
+
+func TestCtxTwinFreeFunctionDisqualifies(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/api/api.go": twinDecls + `
+func Put(v int) {}
+`,
+		"internal/use/use.go": `package use
+import "context"
+type store interface{ Put(int) }
+func With(ctx context.Context, s store) { s.Put(1) }`,
+	}, CtxTwin)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want none: free Put disqualifies", messages(diags))
+	}
+}
+
+func TestCtxTwinAllowsTwinWrapperDelegation(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/api/api.go": twinDecls + `
+type Disk struct{}
+func (d *Disk) Save(v int) {}
+func (d *Disk) SaveCtx(ctx context.Context, v int) { d.Save(v) }
+func (d *Disk) other(ctx context.Context) { d.Save(1) }
+`,
+	}, CtxTwin)
+	// SaveCtx's own delegation to Save is the legitimate wrapper call; only
+	// the differently-named caller is flagged.
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "SaveCtx") {
+		t.Fatalf("got %v, want only the non-wrapper call flagged", messages(diags))
+	}
+}
+
+func TestCtxTwinSkipsPackageCalls(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/api/api.go": twinDecls,
+		"internal/use/use.go": `package use
+import (
+	"context"
+	"internal/api"
+)
+func With(ctx context.Context) { api.Helper() }`,
+	}, CtxTwin)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want none: pkg-level calls have no receiver", messages(diags))
+	}
+}
+
+func TestNilSafe(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/metrics/metrics.go": `package metrics
+type Counter struct{ v uint64 }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+func (c *Counter) Reset() { c.v = 0 }
+func (c *Counter) value() uint64 { return c.v } // unexported: exempt
+type helper struct{}
+func (h *helper) Do() {} // not an instrument type: exempt
+`,
+	}, NilSafe)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "Reset") {
+		t.Fatalf("got %v, want exactly Reset flagged", messages(diags))
+	}
+}
+
+func TestNilSafeLateCheckCounts(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/trace/trace.go": `package trace
+type Span struct{ n int }
+func (s *Span) End(err error) {
+	x := 1
+	_ = x
+	if s != nil {
+		s.n++
+	}
+}`,
+	}, NilSafe)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want none: the nil check need not be first", messages(diags))
+	}
+}
+
+func TestHasCtxTwinIndex(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := ParseSource(fset, "internal/api/api.go", twinDecls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildIndex([]*Package{{Dir: "internal/api", Files: []*File{f}}})
+	if !ix.HasCtxTwin("Put") {
+		t.Error("Put should qualify: both Store and Cache declare PutCtx")
+	}
+	if ix.HasCtxTwin("Write") {
+		t.Error("Write has no twin anywhere")
+	}
+	if ix.HasCtxTwin("PutCtx") {
+		t.Error("the twin itself must not qualify")
+	}
+	if ix.HasCtxTwin("Absent") {
+		t.Error("undeclared names must not qualify")
+	}
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// nilsafeTypes lists, per package directory suffix, the instrument types
+// whose exported pointer-receiver methods must tolerate nil receivers: the
+// whole observability layer is designed as "nil until Instrument", so every
+// component calls these unconditionally.
+var nilsafeTypes = map[string]map[string]bool{
+	"internal/metrics": {"Counter": true, "Gauge": true, "Histogram": true, "Registry": true},
+	"internal/trace":   {"Tracer": true, "Span": true},
+}
+
+// NilSafe verifies that metrics/trace instruments nil-check their receiver
+// somewhere in each exported pointer-receiver method.
+var NilSafe = &Analyzer{
+	Name: "nilsafe",
+	Doc:  "exported methods of metrics/trace instruments must nil-check their receiver",
+	Run:  runNilSafe,
+}
+
+func runNilSafe(p *Pass) {
+	var types map[string]bool
+	for suffix, set := range nilsafeTypes {
+		if p.Pkg.Dir == suffix || strings.HasSuffix(p.Pkg.Dir, "/"+suffix) {
+			types = set
+		}
+	}
+	if types == nil {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 || fn.Body == nil {
+				continue
+			}
+			if !fn.Name.IsExported() || !types[recvTypeName(fn.Recv.List[0].Type)] {
+				continue
+			}
+			if _, isPtr := fn.Recv.List[0].Type.(*ast.StarExpr); !isPtr {
+				continue // value receivers cannot be nil
+			}
+			names := fn.Recv.List[0].Names
+			if len(names) == 0 || names[0].Name == "_" {
+				p.Reportf(fn.Pos(), "%s has an unnamed receiver and cannot nil-check it", fn.Name.Name)
+				continue
+			}
+			if !checksNil(fn.Body, names[0].Name) {
+				p.Reportf(fn.Pos(), "%s never nil-checks its receiver %q; instruments must be no-ops when unset",
+					fn.Name.Name, names[0].Name)
+			}
+		}
+	}
+}
+
+// checksNil reports whether body contains a `recv == nil` or `recv != nil`
+// comparison.
+func checksNil(body *ast.BlockStmt, recv string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op.String() != "==" && bin.Op.String() != "!=") {
+			return true
+		}
+		if isIdent(bin.X, recv) && isIdent(bin.Y, "nil") ||
+			isIdent(bin.X, "nil") && isIdent(bin.Y, recv) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

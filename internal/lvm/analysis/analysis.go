@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lvm"
+	"repro/internal/sandbox"
+)
+
+// MethodReport is the admission verdict for one method: the host functions
+// and capabilities reachable from it (transitively through calls), its static
+// fuel bound, and the pcs of dead instructions.
+type MethodReport struct {
+	Method      string // "Class.method"
+	HostCalls   []string
+	Caps        []sandbox.Capability
+	Fuel        Fuel
+	Unreachable []int
+}
+
+// Report is the result of analysing a whole program. Methods is keyed by
+// "Class.method"; Warnings carries human-readable non-fatal findings
+// (unreachable code) in deterministic order.
+type Report struct {
+	Methods  map[string]*MethodReport
+	Warnings []string
+}
+
+// Method returns the report for "Class.method", or nil.
+func (r *Report) Method(class, method string) *MethodReport {
+	return r.Methods[class+"."+method]
+}
+
+// analyzer holds the per-program artifacts shared by the client analyses:
+// typed-verification results, devirtualised call targets, and the cost memo.
+type analyzer struct {
+	p       *lvm.Program
+	types   map[*lvm.Method]*TypeInfo
+	targets map[*lvm.Method]map[int][]*lvm.Method
+	cost    *costState
+}
+
+// newAnalyzer type-checks every method of p (rejecting the program on the
+// first failure) and resolves call targets.
+func newAnalyzer(p *lvm.Program) (*analyzer, error) {
+	a := &analyzer{
+		p:       p,
+		types:   make(map[*lvm.Method]*TypeInfo),
+		targets: make(map[*lvm.Method]map[int][]*lvm.Method),
+	}
+	for _, cls := range sortedClassNames(p) {
+		c := p.Classes[cls]
+		for _, name := range sortedMethodNames(c) {
+			m := c.Methods[name]
+			ti, err := TypeCheck(p, m)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", m, err)
+			}
+			a.types[m] = ti
+		}
+	}
+	for m, ti := range a.types {
+		a.targets[m] = callTargets(p, m, ti)
+	}
+	return a, nil
+}
+
+func sortedMethodNames(c *lvm.Class) []string {
+	names := make([]string, 0, len(c.Methods))
+	for name := range c.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AnalyzeProgram runs the full admission pipeline over p: CFG construction
+// and typed stack verification for every method (an error anywhere rejects
+// the program), then capability inference and bounded-cost analysis per
+// method. It is strictly stronger than lvm.VerifyProgram: anything it accepts
+// also passes the depth-only verifier.
+func AnalyzeProgram(p *lvm.Program) (*Report, error) {
+	a, err := newAnalyzer(p)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Methods: make(map[string]*MethodReport)}
+	for _, cls := range sortedClassNames(p) {
+		c := p.Classes[cls]
+		for _, name := range sortedMethodNames(c) {
+			m := c.Methods[name]
+			mr := &MethodReport{Method: cls + "." + name}
+			mr.HostCalls, mr.Caps = a.InferCaps(m)
+			mr.Fuel = a.MethodFuel(m)
+			mr.Unreachable = a.types[m].CFG.Unreachable()
+			for _, pc := range mr.Unreachable {
+				rep.Warnings = append(rep.Warnings,
+					fmt.Sprintf("%s: pc %d unreachable (%s)", mr.Method, pc, m.Code[pc].Op))
+			}
+			rep.Methods[mr.Method] = mr
+		}
+	}
+	return rep, nil
+}
+
+// AnalyzeMethod analyses a single method in the context of p: typed
+// verification of the whole program is still required (callees must be safe
+// too), but the returned report is scoped to what entry can reach.
+func AnalyzeMethod(p *lvm.Program, entry *lvm.Method) (*MethodReport, error) {
+	rep, err := AnalyzeProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	cls := "?"
+	if entry.Class != nil {
+		cls = entry.Class.Name
+	}
+	mr := rep.Methods[cls+"."+entry.Name]
+	if mr == nil {
+		return nil, fmt.Errorf("analysis: method %s.%s not in program", cls, entry.Name)
+	}
+	return mr, nil
+}

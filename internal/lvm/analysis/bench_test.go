@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lvm"
+)
+
+// BenchmarkAnalyze measures the full admission pipeline (CFG + typed
+// verification + capability inference + cost analysis) over the example
+// advice corpus — the price a base pays once per AddExtension, off the weave
+// fast path entirely.
+func BenchmarkAnalyze(b *testing.B) {
+	entries, err := os.ReadDir(adviceDir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var progs []*lvm.Program
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".lasm" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(adviceDir, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs = append(progs, lvm.MustAssemble(string(src)))
+	}
+	if len(progs) == 0 {
+		b.Fatal("no example advice to analyze")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, err := AnalyzeProgram(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

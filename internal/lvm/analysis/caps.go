@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/lvm"
+	"repro/internal/sandbox"
+)
+
+// callTargets resolves every OpCall in m to the set of methods it may invoke.
+// Where typed verification pinned the receiver to a known class, the call
+// devirtualises to exactly that class's method; otherwise the closed world of
+// the program supplies every method sharing the name. Calls in dead code
+// resolve by name too — dead code cannot run, but counting it keeps the
+// inferred set an over-approximation even if the verifier ever changes.
+func callTargets(p *lvm.Program, m *lvm.Method, ti *TypeInfo) map[int][]*lvm.Method {
+	out := make(map[int][]*lvm.Method)
+	for pc, ins := range m.Code {
+		if ins.Op != lvm.OpCall {
+			continue
+		}
+		if recv, ok := ti.ReceiverAt(pc); ok && recv.K == AObj && recv.Class != "" {
+			if callee := p.Method(recv.Class, ins.Sym); callee != nil {
+				out[pc] = []*lvm.Method{callee}
+				continue
+			}
+		}
+		var callees []*lvm.Method
+		for _, name := range sortedClassNames(p) {
+			if callee := p.Classes[name].Methods[ins.Sym]; callee != nil {
+				callees = append(callees, callee)
+			}
+		}
+		out[pc] = callees
+	}
+	return out
+}
+
+func sortedClassNames(p *lvm.Program) []string {
+	names := make([]string, 0, len(p.Classes))
+	for name := range p.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// reachableMethods walks the call graph from entry and returns every method
+// that may execute, entry included.
+func (a *analyzer) reachableMethods(entry *lvm.Method) []*lvm.Method {
+	seen := map[*lvm.Method]bool{entry: true}
+	queue := []*lvm.Method{entry}
+	var out []*lvm.Method
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		out = append(out, m)
+		for _, callees := range a.targets[m] {
+			for _, callee := range callees {
+				if !seen[callee] {
+					seen[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// InferCaps computes the host calls and sandbox capabilities reachable from
+// entry, transitively through the call graph. The capability mapping is the
+// sandbox's own (sandbox.CapabilityOf), so whatever this returns is exactly
+// what the run-time gate would demand.
+func (a *analyzer) InferCaps(entry *lvm.Method) (hostCalls []string, caps []sandbox.Capability) {
+	fns := make(map[string]bool)
+	for _, m := range a.reachableMethods(entry) {
+		for _, ins := range m.Code {
+			if ins.Op == lvm.OpHostCall {
+				fns[ins.Sym] = true
+			}
+		}
+	}
+	capSet := make(map[sandbox.Capability]bool)
+	for fn := range fns {
+		hostCalls = append(hostCalls, fn)
+		capSet[sandbox.CapabilityOf(fn)] = true
+	}
+	sort.Strings(hostCalls)
+	for c := range capSet {
+		caps = append(caps, c)
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i] < caps[j] })
+	return hostCalls, caps
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/lvm"
+	"repro/internal/sandbox"
+)
+
+const adviceDir = "../../../examples/advice"
+
+// golden pins the inferred capability set and fuel verdict of every example
+// advice. A new .lasm under examples/advice without an entry here fails the
+// test, so the goldens cannot silently rot.
+var golden = map[string]struct {
+	caps    []sandbox.Capability
+	bounded bool
+}{
+	"movelimit.lasm":  {caps: []sandbox.Capability{sandbox.CapCtx}, bounded: true},
+	"audit.lasm":      {caps: []sandbox.Capability{sandbox.CapClock, sandbox.CapCtx, sandbox.CapStore}, bounded: true},
+	"exfiltrate.lasm": {caps: []sandbox.Capability{sandbox.CapCtx, sandbox.CapNet}, bounded: true},
+	"announce.lasm":   {caps: []sandbox.Capability{sandbox.CapCtx, sandbox.CapLog}, bounded: false},
+}
+
+func TestGoldenExampleCaps(t *testing.T) {
+	entries, err := os.ReadDir(adviceDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", adviceDir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".lasm" {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) != len(golden) {
+		t.Errorf("examples/advice has %d .lasm files, golden covers %d", len(files), len(golden))
+	}
+	for _, name := range files {
+		t.Run(name, func(t *testing.T) {
+			want, ok := golden[name]
+			if !ok {
+				t.Fatalf("no golden entry for %s — add one", name)
+			}
+			src, err := os.ReadFile(filepath.Join(adviceDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := lvm.Assemble(string(src))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			rep, err := AnalyzeProgram(prog)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			mr := rep.Method("Ext", "advice")
+			if mr == nil {
+				t.Fatal("no Ext.advice report")
+			}
+			if !reflect.DeepEqual(mr.Caps, want.caps) {
+				t.Errorf("caps = %v, want %v", mr.Caps, want.caps)
+			}
+			if mr.Fuel.Bounded != want.bounded {
+				t.Errorf("fuel bounded = %v, want %v (steps %d)", mr.Fuel.Bounded, want.bounded, mr.Fuel.Steps)
+			}
+			if len(rep.Warnings) != 0 {
+				t.Errorf("example advice should have no warnings: %v", rep.Warnings)
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import "repro/internal/lvm"
+
+// Fuel is a static execution-cost verdict for one entry point. Bounded means
+// no loop and no recursion is reachable, and Steps is then an upper bound on
+// the interpreter steps one invocation can consume (each instruction costs
+// one step; calls add the callee's bound). Unbounded code falls back to the
+// interpreter's default budget.
+type Fuel struct {
+	Bounded bool
+	Steps   int
+}
+
+// Unbounded is the verdict for cyclic or recursive code.
+func Unbounded() Fuel { return Fuel{} }
+
+// costState tracks the memoized per-method cost during call-graph traversal.
+type costState struct {
+	memo     map[*lvm.Method]Fuel
+	visiting map[*lvm.Method]bool
+}
+
+// MethodFuel returns the static cost bound of one invocation of m, including
+// everything it may call. Recursion — even potential recursion through an
+// imprecisely resolved call — yields Unbounded.
+func (a *analyzer) MethodFuel(m *lvm.Method) Fuel {
+	if a.cost == nil {
+		a.cost = &costState{memo: make(map[*lvm.Method]Fuel), visiting: make(map[*lvm.Method]bool)}
+	}
+	return a.fuelOf(m)
+}
+
+func (a *analyzer) fuelOf(m *lvm.Method) Fuel {
+	if f, ok := a.cost.memo[m]; ok {
+		return f
+	}
+	if a.cost.visiting[m] {
+		// Back edge in the call graph: (potential) recursion.
+		return Unbounded()
+	}
+	a.cost.visiting[m] = true
+	f := a.localFuel(m)
+	delete(a.cost.visiting, m)
+	a.cost.memo[m] = f
+	return f
+}
+
+// localFuel bounds one invocation of m. A cyclic CFG (counting exception
+// edges, which can loop through repeated throws) is unbounded. In an acyclic
+// CFG every block runs at most once per invocation, so the sum of all
+// instruction costs is a sound — if conservative — upper bound that needs no
+// path enumeration.
+func (a *analyzer) localFuel(m *lvm.Method) Fuel {
+	ti := a.types[m]
+	if ti == nil || ti.CFG.HasCycle() {
+		return Unbounded()
+	}
+	steps := 0
+	for pc, ins := range m.Code {
+		steps++
+		if ins.Op != lvm.OpCall {
+			continue
+		}
+		callees := a.targets[m][pc]
+		if len(callees) == 0 {
+			// Unresolvable call: at run time it would throw "no method",
+			// costing nothing further. Charge only the instruction.
+			continue
+		}
+		worst := 0
+		for _, callee := range callees {
+			cf := a.fuelOf(callee)
+			if !cf.Bounded {
+				return Unbounded()
+			}
+			if cf.Steps > worst {
+				worst = cf.Steps
+			}
+		}
+		steps += worst
+	}
+	return Fuel{Bounded: true, Steps: steps}
+}

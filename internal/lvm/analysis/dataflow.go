@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/lvm"
+)
+
+// Transfer defines one forward dataflow problem over a method's bytecode.
+// States flow instruction by instruction; Merge joins states at control-flow
+// joins and reports whether the merged state changed (driving the fixpoint).
+type Transfer[S any] interface {
+	// Entry is the abstract state at pc 0.
+	Entry() S
+	// HandlerEntry is the abstract state at an exception handler's target
+	// (the LVM clears the stack and pushes the exception message there).
+	HandlerEntry() S
+	// Apply transforms the state across one instruction. An error rejects
+	// the method (type confusion, stack underflow, bad operand).
+	Apply(pc int, ins lvm.Instr, s S) (S, error)
+	// Merge joins two states arriving at the same pc. An error rejects the
+	// method (e.g. inconsistent stack depth).
+	Merge(a, b S) (S, bool, error)
+}
+
+// Forward runs t to a fixpoint over g and returns the in-state of every pc
+// plus a visited mask (unvisited pcs hold the zero state). Handler targets
+// are seeded with HandlerEntry like the depth verifier seeds them, so the
+// two verdicts stay comparable.
+func Forward[S any](g *CFG, t Transfer[S]) ([]S, []bool, error) {
+	m := g.Method
+	n := len(m.Code)
+	in := make([]S, n)
+	seen := make([]bool, n)
+
+	queue := make([]int, 0, n)
+	propagate := func(pc int, s S) error {
+		if !seen[pc] {
+			seen[pc] = true
+			in[pc] = s
+			queue = append(queue, pc)
+			return nil
+		}
+		merged, changed, err := t.Merge(in[pc], s)
+		if err != nil {
+			return fmt.Errorf("pc %d: %w", pc, err)
+		}
+		if changed {
+			in[pc] = merged
+			queue = append(queue, pc)
+		}
+		return nil
+	}
+
+	if err := propagate(0, t.Entry()); err != nil {
+		return nil, nil, err
+	}
+	for _, h := range m.Handlers {
+		if err := propagate(h.Target, t.HandlerEntry()); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	for len(queue) > 0 {
+		pc := queue[0]
+		queue = queue[1:]
+		ins := m.Code[pc]
+		out, err := t.Apply(pc, ins, in[pc])
+		if err != nil {
+			// The in-state may still be refined (e.g. a definite str joined
+			// with an int becomes any, which arithmetic accepts); don't
+			// propagate now, and leave rejection to the post-fixpoint check
+			// below so transient states can't cause spurious errors.
+			continue
+		}
+		switch ins.Op {
+		case lvm.OpReturn, lvm.OpReturnVoid, lvm.OpThrow:
+			// terminal
+		case lvm.OpJump:
+			if err := propagate(ins.A, out); err != nil {
+				return nil, nil, err
+			}
+		case lvm.OpJumpFalse:
+			if err := propagate(ins.A, out); err != nil {
+				return nil, nil, err
+			}
+			if err := propagate(pc+1, out); err != nil {
+				return nil, nil, err
+			}
+		default:
+			if err := propagate(pc+1, out); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	// Errors are judged only against the fixpoint states.
+	for pc := 0; pc < n; pc++ {
+		if !seen[pc] {
+			continue
+		}
+		if _, err := t.Apply(pc, m.Code[pc], in[pc]); err != nil {
+			return nil, nil, fmt.Errorf("pc %d: %w", pc, err)
+		}
+	}
+	return in, seen, nil
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/lvm"
+)
+
+// fuzzSyms is the symbol pool the fuzzer draws call/hostcall/new operands
+// from: known and unknown classes, methods that do and don't exist, and
+// host functions across several capability namespaces.
+var fuzzSyms = []string{"m", "helper", "ghost", "C", "Ghost", "store.put", "net.post", "ctx.arg", "x"}
+
+// methodFromFuzz decodes an arbitrary byte string into a two-method program:
+// each 4-byte group becomes one instruction of C.m, while C.helper is a fixed
+// valid callee so OpCall has something real to resolve to. The final byte
+// pair, when present, adds an exception handler.
+func methodFromFuzz(data []byte) *lvm.Program {
+	if len(data) < 4 {
+		return nil
+	}
+	p := lvm.NewProgram()
+	c := lvm.NewClass("C")
+	helper := &lvm.Method{
+		Name:   "helper",
+		Return: "void",
+		Code:   []lvm.Instr{{Op: lvm.OpReturnVoid}},
+	}
+	c.AddMethod(helper)
+
+	m := &lvm.Method{
+		Name:      "m",
+		Return:    "void",
+		NumLocals: int(data[0] % 4),
+		Consts:    []lvm.Value{lvm.Int(7), lvm.Str("s"), lvm.Bool(true), lvm.Nil()},
+	}
+	body := data[1:]
+	for i := 0; i+4 <= len(body); i += 4 {
+		m.Code = append(m.Code, lvm.Instr{
+			Op:  lvm.Op(body[i] % 32),
+			A:   int(int8(body[i+1])),
+			B:   int(int8(body[i+2])),
+			Sym: fuzzSyms[int(body[i+3])%len(fuzzSyms)],
+		})
+	}
+	if len(m.Code) == 0 {
+		return nil
+	}
+	if rest := len(body) % 4; rest >= 2 {
+		tail := body[len(body)-rest:]
+		n := len(m.Code)
+		start := int(tail[0]) % n
+		m.Handlers = []lvm.Handler{{Start: start, End: start + 1, Target: int(tail[1]) % n}}
+	}
+	c.AddMethod(m)
+	p.AddClass(c)
+	return p
+}
+
+// FuzzAnalyze checks the two safety properties of the admission analyzer:
+// it never panics on arbitrary bytecode, and anything it accepts also passes
+// the depth-only lvm.VerifyMethod (analysis is strictly stronger, so an
+// admitted extension can never be bounced by the receiver's verifier).
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{0, byte(lvm.OpReturnVoid), 0, 0, 0})
+	f.Add([]byte{1, byte(lvm.OpConst), 0, 0, 0, byte(lvm.OpPop), 0, 0, 0, byte(lvm.OpReturnVoid), 0, 0, 0})
+	f.Add([]byte{2, byte(lvm.OpHostCall), 0, 1, 5, byte(lvm.OpPop), 0, 0, 0, byte(lvm.OpReturnVoid), 0, 0, 0})
+	f.Add([]byte{0, byte(lvm.OpLoad), 0, 0, 0, byte(lvm.OpCall), 0, 0, 1, byte(lvm.OpPop), 0, 0, 0, byte(lvm.OpReturnVoid), 0, 0, 0, 9, 3})
+	f.Add([]byte{0, byte(lvm.OpJump), 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := methodFromFuzz(data)
+		if p == nil {
+			return
+		}
+		rep, err := AnalyzeProgram(p)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if rep.Method("C", "m") == nil {
+			t.Fatal("accepted program missing method report")
+		}
+		if err := lvm.VerifyProgram(p); err != nil {
+			t.Fatalf("analysis accepted what VerifyMethod rejects: %v", err)
+		}
+	})
+}

@@ -22,6 +22,15 @@ func VerifyMethod(p *Program, m *Method) error {
 			return fmt.Errorf("lvm verify: %s: handler target %d out of range", m, h.Target)
 		}
 	}
+	// Structural check: the final instruction must be a terminator or an
+	// unconditional jump, so no path — reachable or not — can run off the end
+	// of the code. The reachable case is also caught by the walk below, but
+	// dead tails would otherwise slip through.
+	switch m.Code[n-1].Op {
+	case OpReturn, OpReturnVoid, OpThrow, OpJump:
+	default:
+		return fmt.Errorf("lvm verify: %s: control can fall off the end at pc %d (%s)", m, n-1, m.Code[n-1].Op)
+	}
 
 	// Abstract interpretation over stack depth. -1 = unvisited.
 	depth := make([]int, n)
@@ -90,6 +99,17 @@ func VerifyMethod(p *Program, m *Method) error {
 			if queue, err = push(queue, pc+1, nd); err != nil {
 				return err
 			}
+		}
+	}
+	// Instructions the walk never reached are dead code, but they travel with
+	// the method: validate their operands so a malformed instruction cannot
+	// hide behind a jump.
+	for pc := range m.Code {
+		if depth[pc] != -1 {
+			continue
+		}
+		if _, _, errV := stackEffect(p, m, m.Code[pc], frame); errV != nil {
+			return fmt.Errorf("lvm verify: %s pc %d (unreachable): %w", m, pc, errV)
 		}
 	}
 	return nil

@@ -109,7 +109,17 @@ func TestVerifyRejectsMalformed(t *testing.T) {
 		{
 			name:    "falls off the end",
 			code:    []Instr{{Op: OpNop}},
-			wantSub: "falls off the end",
+			wantSub: "fall off the end",
+		},
+		{
+			name:    "dead tail falls off the end",
+			code:    []Instr{{Op: OpReturnVoid}, {Op: OpNop}},
+			wantSub: "fall off the end",
+		},
+		{
+			name:    "dead code with bad operand",
+			code:    []Instr{{Op: OpReturnVoid}, {Op: OpConst, A: 9}, {Op: OpReturnVoid}},
+			wantSub: "unreachable",
 		},
 		{
 			name:    "return without value",

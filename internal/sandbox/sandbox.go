@@ -60,6 +60,20 @@ func (p Perms) List() []Capability {
 	return out
 }
 
+// Diff returns the capabilities in want that p does not grant, sorted. An
+// empty result means p covers want. Admission uses this to name exactly which
+// inferred capabilities a policy refused.
+func (p Perms) Diff(want []Capability) []Capability {
+	var missing []Capability
+	for _, c := range want {
+		if !p.Allows(c) {
+			missing = append(missing, c)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return missing
+}
+
 // String renders the set for diagnostics.
 func (p Perms) String() string {
 	caps := p.List()
@@ -72,15 +86,17 @@ func (p Perms) String() string {
 
 // Violation is the uncatchable error raised when sandboxed code exceeds its
 // capabilities. It deliberately does not unwrap to *lvm.Thrown, so extension
-// bytecode cannot swallow it with a handler.
+// bytecode cannot swallow it with a handler. Granted records what the policy
+// actually allowed, so the error names both sides of the mismatch.
 type Violation struct {
 	Capability Capability
 	Fn         string
+	Granted    Perms
 }
 
 // Error implements error.
 func (v *Violation) Error() string {
-	return fmt.Sprintf("sandbox: call %q requires capability %q", v.Fn, v.Capability)
+	return fmt.Sprintf("sandbox: call %q requires capability %q, granted %s", v.Fn, v.Capability, v.Granted)
 }
 
 // Policy decides which of an extension's requested capabilities a node
@@ -110,10 +126,8 @@ func AllowAll() Policy {
 func Allowlist(caps ...Capability) Policy {
 	allowed := NewPerms(caps...)
 	return PolicyFunc(func(_ string, requested []Capability) (Perms, error) {
-		for _, c := range requested {
-			if !allowed.Allows(c) {
-				return Perms{}, fmt.Errorf("sandbox: capability %q not permitted by node policy", c)
-			}
+		if missing := allowed.Diff(requested); len(missing) > 0 {
+			return Perms{}, fmt.Errorf("sandbox: capabilities %v not permitted by node policy (allows %s)", missing, allowed)
 		}
 		return NewPerms(requested...), nil
 	})
@@ -143,9 +157,9 @@ func (h *Host) Perms() Perms { return h.perms }
 // HostCall implements lvm.Host with a capability check on the function's
 // namespace.
 func (h *Host) HostCall(name string, args []lvm.Value) (lvm.Value, error) {
-	cap := capabilityOf(name)
+	cap := CapabilityOf(name)
 	if !h.perms.Allows(cap) {
-		return lvm.Nil(), &Violation{Capability: cap, Fn: name}
+		return lvm.Nil(), &Violation{Capability: cap, Fn: name, Granted: h.perms}
 	}
 	h.mu.Lock()
 	h.calls[name]++
@@ -160,7 +174,11 @@ func (h *Host) CallCount(name string) int {
 	return h.calls[name]
 }
 
-func capabilityOf(fn string) Capability {
+// CapabilityOf maps a host-function name onto the capability guarding it: the
+// namespace before the first '.', or the whole name if it has none. Static
+// capability inference uses the same mapping, so admission-time and run-time
+// decisions cannot disagree.
+func CapabilityOf(fn string) Capability {
 	if dot := strings.IndexByte(fn, '.'); dot > 0 {
 		return Capability(fn[:dot])
 	}

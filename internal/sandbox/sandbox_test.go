@@ -2,6 +2,7 @@ package sandbox
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/lvm"
@@ -114,6 +115,46 @@ func TestPermsString(t *testing.T) {
 	}
 }
 
+func TestPermsDiff(t *testing.T) {
+	p := NewPerms(CapStore, CapLog)
+	missing := p.Diff([]Capability{CapNet, CapStore, CapClock})
+	if len(missing) != 2 || missing[0] != CapClock || missing[1] != CapNet {
+		t.Errorf("Diff = %v, want [clock net]", missing)
+	}
+	if got := p.Diff([]Capability{CapStore}); len(got) != 0 {
+		t.Errorf("covered set should diff empty, got %v", got)
+	}
+}
+
+func TestViolationNamesGrantedSet(t *testing.T) {
+	h := NewHost(baseHost(), NewPerms(CapStore))
+	_, err := h.HostCall("net.post", nil)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("want Violation, got %v", err)
+	}
+	if !v.Granted.Allows(CapStore) {
+		t.Errorf("violation should carry the granted set, got %s", v.Granted)
+	}
+	msg := v.Error()
+	if !strings.Contains(msg, "net.post") || !strings.Contains(msg, `"net"`) || !strings.Contains(msg, "store") {
+		t.Errorf("violation message should name call, capability and grants: %s", msg)
+	}
+}
+
+func TestAllowlistErrorNamesMissingAndPolicy(t *testing.T) {
+	p := Allowlist(CapStore, CapSession)
+	_, err := p.Grant("hall-1", []Capability{CapNet, CapClock})
+	if err == nil {
+		t.Fatal("want rejection")
+	}
+	for _, want := range []string{"net", "clock", "store"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error should mention %q: %v", want, err)
+		}
+	}
+}
+
 func TestCapabilityOf(t *testing.T) {
 	tests := []struct {
 		fn   string
@@ -124,8 +165,8 @@ func TestCapabilityOf(t *testing.T) {
 		{"bare", Capability("bare")},
 	}
 	for _, tt := range tests {
-		if got := capabilityOf(tt.fn); got != tt.want {
-			t.Errorf("capabilityOf(%s) = %s", tt.fn, got)
+		if got := CapabilityOf(tt.fn); got != tt.want {
+			t.Errorf("CapabilityOf(%s) = %s", tt.fn, got)
 		}
 	}
 }

@@ -16,7 +16,7 @@ func Advance(clk *clock.Manual, total, step time.Duration) {
 	}
 	for elapsed := time.Duration(0); elapsed < total; elapsed += step {
 		clk.Advance(step)
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond) //lint:allow clockcheck (real pause lets goroutines drain between simulated steps)
 	}
 }
 
@@ -33,7 +33,7 @@ func Drive(clk *clock.Manual, step time.Duration) (stop func()) {
 			select {
 			case <-halt:
 				return
-			case <-time.After(time.Millisecond):
+			case <-time.After(time.Millisecond): //lint:allow clockcheck (real pacing of the simulated clock)
 				clk.Advance(step)
 			}
 		}
@@ -57,6 +57,6 @@ func Settle(clk *clock.Manual, step time.Duration) {
 		} else {
 			idle++
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //lint:allow clockcheck (real pause while polling for quiescence)
 	}
 }

@@ -195,7 +195,7 @@ type Tracer struct {
 // identical IDs.
 func New(seed int64) *Tracer {
 	return &Tracer{
-		now:      time.Now,
+		now:      time.Now, //lint:allow clockcheck (SetNow overrides; wall clock is the right default)
 		rng:      rand.New(rand.NewSource(seed)),
 		spanCap:  DefaultSpanCapacity,
 		eventCap: DefaultEventCapacity,
@@ -325,6 +325,9 @@ func (f Filter) matches(s SpanSnapshot) bool {
 // Spans returns a consistent snapshot of recorded spans matching f, oldest
 // first.
 func (t *Tracer) Spans(f Filter) []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
 	live := t.liveSpans()
 	var out []SpanSnapshot
 	for _, sp := range live {

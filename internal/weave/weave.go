@@ -234,7 +234,7 @@ func (w *Weaver) Insert(a *aop.Aspect) error {
 	}
 	start := time.Time{}
 	if w.m != nil {
-		start = time.Now()
+		start = time.Now() //lint:allow clockcheck (real weave latency metric)
 	}
 	w.seq++
 	w.aspects[a.Name] = &insertedAspect{aspect: a, seq: w.seq}
@@ -258,7 +258,7 @@ func (w *Weaver) Withdraw(name string) error {
 	}
 	start := time.Time{}
 	if w.m != nil {
-		start = time.Now()
+		start = time.Now() //lint:allow clockcheck (real weave latency metric)
 	}
 	delete(w.aspects, name)
 	w.recomputeAllLocked()
@@ -301,7 +301,7 @@ func (w *Weaver) Replace(oldName string, a *aop.Aspect) error {
 	}
 	start := time.Time{}
 	if w.m != nil {
-		start = time.Now()
+		start = time.Now() //lint:allow clockcheck (real weave latency metric)
 	}
 	delete(w.aspects, oldName)
 	w.seq++
