@@ -70,6 +70,10 @@ func run() error {
 		brkThresh = flag.Int("breaker-threshold", 3, "consecutive failures before a node's circuit opens")
 		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "circuit open time before a half-open probe")
 		admission = flag.String("admission", "", "comma-separated capability allowlist enforced at admission (empty = declared caps only)")
+		shards    = flag.Int("shards", 16, "node-table shards (parallel adapt/reconcile lock domains)")
+		renewBat  = flag.Int("renew-batch", 64, "max leases coalesced into one batched renewal RPC per node")
+		renewTick = flag.Duration("renew-tick", 0, "renewal timer-wheel granularity (0 = lease*fraction/4)")
+		renewWrk  = flag.Int("renew-workers", 8, "concurrent renewal RPC workers")
 		exts      extFlags
 	)
 	flag.Var(&exts, "ext", "extension preset, repeatable: hwmonitor | logger | accesscontrol:allow=a,b")
@@ -143,6 +147,10 @@ func run() error {
 		Breaker:        breaker,
 		ReconcileEvery: *reconcile,
 		Admission:      admissionPolicy,
+		Shards:         *shards,
+		RenewTick:      *renewTick,
+		RenewBatch:     *renewBat,
+		RenewWorkers:   *renewWrk,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,233 @@
+// Fleet-scale benchmarks for the base station: adapt-round throughput,
+// anti-entropy reconcile rounds, and the timer-wheel renewal scheduler, each
+// against a fleet of lightweight in-process nodes. Besides the standard
+// go-bench output, every run rewrites BENCH_fleet.json at the repo root so
+// CI can archive the numbers (set BENCH_FLEET_OUT to redirect, or empty to
+// skip).
+//
+//	go test -run '^$' -bench 'Fleet|RenewScheduler' -benchtime=1x .
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sign"
+	"repro/internal/transport"
+)
+
+// benchFleet wires a base and n fake fleet nodes over the zero-latency
+// in-process fabric, on a manual clock the benchmark drives itself.
+type benchFleet struct {
+	clk   *clock.Manual
+	base  *core.Base
+	reg   *metrics.Registry
+	names []string
+}
+
+func newBenchFleet(b *testing.B, nNodes int) *benchFleet {
+	b.Helper()
+	clk := clock.NewManual(time.Unix(0, 0))
+	fabric := transport.NewInProc()
+	names := make([]string, nNodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%05d", i)
+		fn := newFleetNode(names[i], clk)
+		mux := transport.NewMux()
+		fn.serveOn(mux)
+		stop, err := fabric.Serve(names[i], mux)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(stop)
+	}
+	signer, err := sign.NewSigner("bench-base")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := core.NewBase(core.BaseConfig{
+		Name:          "bench-base",
+		Addr:          "bench-base",
+		Caller:        fabric.Node("bench-base"),
+		Signer:        signer,
+		Clock:         clk,
+		LeaseDur:      time.Minute,
+		RenewFraction: 0.5,
+		CallTimeout:   time.Hour,
+		Shards:        16,
+		RenewBatch:    64,
+		RenewWorkers:  8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(base.Close)
+	reg := metrics.New()
+	base.Instrument(reg)
+	for _, ext := range []core.Extension{
+		noopScenarioExt("policy", 1),
+		noopScenarioExt("telemetry", 1),
+	} {
+		if err := base.AddExtension(ext); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return &benchFleet{clk: clk, base: base, reg: reg, names: names}
+}
+
+func (f *benchFleet) adaptAll(b *testing.B) {
+	b.Helper()
+	for _, name := range f.names {
+		if err := f.base.AdaptNode(name, name); err != nil {
+			b.Fatalf("adapt %s: %v", name, err)
+		}
+	}
+}
+
+func (f *benchFleet) releaseAll() {
+	for _, name := range f.names {
+		f.base.Release(name)
+	}
+}
+
+// fleetBenchSizes picks the fleet sizes to sweep; FLEET_BENCH_NODES pins a
+// single size (CI smoke uses 10000).
+func fleetBenchSizes(b *testing.B) []int {
+	b.Helper()
+	if v := os.Getenv("FLEET_BENCH_NODES"); v != "" {
+		var n int
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 1 {
+			b.Fatalf("FLEET_BENCH_NODES=%q: want a positive integer", v)
+		}
+		return []int{n}
+	}
+	return []int{1000, 10000}
+}
+
+// BenchmarkFleetAdapt measures a full adapt round: every node in the fleet
+// walks into the cell and receives the policy set as one batched push, with
+// its leases landing on the timer wheel.
+func BenchmarkFleetAdapt(b *testing.B) {
+	for _, n := range fleetBenchSizes(b) {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			f := newBenchFleet(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.adaptAll(b)
+				b.StopTimer()
+				f.releaseAll()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			perNode := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(n)
+			b.ReportMetric(perNode, "ns/node")
+			writeFleetBench(b, "BenchmarkFleetAdapt", n, map[string]float64{
+				"ns_per_round": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				"ns_per_node":  perNode,
+			})
+		})
+	}
+}
+
+// BenchmarkFleetReconcile measures one anti-entropy round over a fully
+// adapted, in-sync fleet: an inventory RPC per node, diffed per shard in
+// parallel.
+func BenchmarkFleetReconcile(b *testing.B) {
+	for _, n := range fleetBenchSizes(b) {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			f := newBenchFleet(b, n)
+			f.adaptAll(b)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.base.ReconcileNow(ctx)
+			}
+			b.StopTimer()
+			perNode := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(n)
+			b.ReportMetric(perNode, "ns/node")
+			writeFleetBench(b, "BenchmarkFleetReconcile", n, map[string]float64{
+				"ns_per_round": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				"ns_per_node":  perNode,
+			})
+		})
+	}
+}
+
+// BenchmarkRenewScheduler measures one renewal window: the timer wheel fires
+// every lease in the fleet, coalesces them into per-node batches, and the
+// worker pool renews them over the fabric. One op keeps 2*nodes leases
+// alive.
+func BenchmarkRenewScheduler(b *testing.B) {
+	for _, n := range fleetBenchSizes(b) {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			f := newBenchFleet(b, n)
+			f.adaptAll(b)
+			leases := f.base.ScheduledRenewals()
+			window := 30 * time.Second // LeaseDur * RenewFraction
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.clk.Advance(window)
+				for !f.base.RenewalsQuiesced() {
+					runtime.Gosched()
+				}
+			}
+			b.StopTimer()
+			perLease := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(leases)
+			b.ReportMetric(perLease, "ns/lease")
+			b.ReportMetric(float64(runtime.NumGoroutine()), "goroutines")
+			writeFleetBench(b, "BenchmarkRenewScheduler", n, map[string]float64{
+				"ns_per_window": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				"ns_per_lease":  perLease,
+				"leases":        float64(leases),
+				"goroutines":    float64(runtime.NumGoroutine()),
+			})
+		})
+	}
+}
+
+// writeFleetBench merges one benchmark's numbers into BENCH_fleet.json at
+// the repo root (benchmarks run with the package directory as cwd).
+// BENCH_FLEET_OUT overrides the path; setting it empty-but-present skips the
+// write. Benchmarks run serially, so read-merge-write needs no locking.
+func writeFleetBench(b *testing.B, name string, nodes int, vals map[string]float64) {
+	b.Helper()
+	path := "BENCH_fleet.json"
+	if v, ok := os.LookupEnv("BENCH_FLEET_OUT"); ok {
+		if v == "" {
+			return
+		}
+		path = v
+	}
+	type doc struct {
+		Note       string                        `json:"note"`
+		Go         string                        `json:"go"`
+		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	}
+	d := doc{Benchmarks: make(map[string]map[string]float64)}
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &d) // a stale or foreign file is overwritten
+	}
+	if d.Benchmarks == nil {
+		d.Benchmarks = make(map[string]map[string]float64)
+	}
+	d.Note = "fleet-scale base station benchmarks; regenerate with: go test -run '^$' -bench 'Fleet|RenewScheduler' -benchtime=1x ."
+	d.Go = runtime.Version()
+	key := fmt.Sprintf("%s/nodes=%d", name, nodes)
+	vals["nodes"] = float64(nodes)
+	d.Benchmarks[key] = vals
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+}

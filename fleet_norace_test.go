@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro
+
+// raceDetectorEnabled shrinks the default fleet so -race suites stay fast;
+// FLEET_NODES overrides it.
+const raceDetectorEnabled = false

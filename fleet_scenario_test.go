@@ -1,0 +1,440 @@
+// Fleet-scale scenario: one base station keeping >=10k simulated nodes
+// adapted through churn — roams, crashes and partitions — on the timer-wheel
+// renewal scheduler, batched RPCs and the sharded node table. The run is
+// seeded and driven entirely by the manual clock, so a faulty fleet must
+// converge to the exact state of a fault-free fleet, and a same-seed replay
+// must reproduce the faulty run bit for bit. Set FLEET_NODES / FLEET_SEED to
+// resize or replay.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sign"
+	"repro/internal/simnet"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+)
+
+// fleetSeedDefault pins the CI fleet run; FLEET_SEED overrides for replay.
+const fleetSeedDefault = 20030901
+
+// fleetNodeCount sizes the fleet: FLEET_NODES when set, 10k by default, and
+// a smaller fleet under the race detector so -race suites stay quick.
+func fleetNodeCount(t *testing.T) int {
+	t.Helper()
+	if v := os.Getenv("FLEET_NODES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("FLEET_NODES=%q: want a positive integer", v)
+		}
+		return n
+	}
+	if raceDetectorEnabled {
+		return 1000
+	}
+	return 10000
+}
+
+// fleetGrant is one lease a fleet node holds.
+type fleetGrant struct {
+	version  int
+	leaseID  string
+	baseAddr string
+	deadline time.Time
+}
+
+// fleetNode is a lightweight mobile node for fleet runs: it serves the full
+// receiver wire surface (install, renew, revoke, inventory, singleton and
+// batched) straight out of a grant map, with none of a real receiver's
+// weaving or sandboxing. Lease IDs come from a per-node counter so a fleet's
+// state is independent of cross-node call order.
+type fleetNode struct {
+	name string
+	clk  clock.Clock
+
+	mu     sync.Mutex
+	seq    int
+	grants map[string]fleetGrant // extension name -> grant
+}
+
+func newFleetNode(name string, clk clock.Clock) *fleetNode {
+	return &fleetNode{name: name, clk: clk, grants: make(map[string]fleetGrant)}
+}
+
+// installLocked grants a lease for one pushed extension.
+func (n *fleetNode) installLocked(req core.InstallReq) string {
+	n.seq++
+	g := fleetGrant{
+		version:  req.Signed.Ext.Version,
+		leaseID:  fmt.Sprintf("%s-L%d", n.name, n.seq),
+		baseAddr: req.BaseAddr,
+		deadline: n.clk.Now().Add(time.Duration(req.DurMillis) * time.Millisecond),
+	}
+	n.grants[req.Signed.Ext.Name] = g
+	return g.leaseID
+}
+
+// renewLocked extends the lease with the given ID, reporting the granted
+// duration or an error text for unknown (expired, revoked) leases.
+func (n *fleetNode) renewLocked(id string, durMillis int64) (int64, string) {
+	for name, g := range n.grants {
+		if g.leaseID == id {
+			g.deadline = n.clk.Now().Add(time.Duration(durMillis) * time.Millisecond)
+			n.grants[name] = g
+			return durMillis, ""
+		}
+	}
+	return 0, fmt.Sprintf("unknown lease %s", id)
+}
+
+func (n *fleetNode) serveOn(mux *transport.Mux) {
+	transport.Register(mux, core.MethodInstall, func(_ context.Context, req core.InstallReq) (core.InstallResp, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return core.InstallResp{LeaseID: n.installLocked(req)}, nil
+	})
+	transport.Register(mux, core.MethodApplyBatch, func(_ context.Context, req core.ApplyBatchReq) (core.ApplyBatchResp, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		resp := core.ApplyBatchResp{
+			Installs: make([]core.InstallItemResp, len(req.Installs)),
+			Revokes:  make([]core.RevokeItemResp, len(req.Revokes)),
+		}
+		for i, ins := range req.Installs {
+			resp.Installs[i].LeaseID = n.installLocked(ins)
+		}
+		for _, name := range req.Revokes {
+			delete(n.grants, name) // absent is success, like the receiver
+		}
+		return resp, nil
+	})
+	transport.Register(mux, core.MethodRenewE, func(_ context.Context, req core.RenewExtReq) (core.RenewExtResp, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		dur, errText := n.renewLocked(req.LeaseID, req.DurMillis)
+		if errText != "" {
+			return core.RenewExtResp{}, fmt.Errorf("%s", errText)
+		}
+		return core.RenewExtResp{DurMillis: dur}, nil
+	})
+	transport.Register(mux, core.MethodRenewBatch, func(_ context.Context, req core.RenewBatchReq) (core.RenewBatchResp, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		resp := core.RenewBatchResp{Items: make([]core.RenewItemResp, len(req.Items))}
+		for i, it := range req.Items {
+			resp.Items[i].DurMillis, resp.Items[i].Err = n.renewLocked(it.LeaseID, it.DurMillis)
+		}
+		return resp, nil
+	})
+	transport.Register(mux, core.MethodRevoke, func(_ context.Context, req core.RevokeReq) (core.EmptyResp, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(n.grants, req.Name)
+		return core.EmptyResp{}, nil
+	})
+	transport.Register(mux, core.MethodInventory, func(_ context.Context, _ core.EmptyResp) (core.InventoryResp, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		resp := core.InventoryResp{Node: n.name}
+		for name, g := range n.grants {
+			resp.Items = append(resp.Items, core.InventoryItem{
+				Name:           name,
+				Version:        g.version,
+				BaseAddr:       g.baseAddr,
+				LeaseID:        g.leaseID,
+				DeadlineMillis: g.deadline.UnixMilli(),
+			})
+		}
+		sort.Slice(resp.Items, func(i, j int) bool { return resp.Items[i].Name < resp.Items[j].Name })
+		return resp, nil
+	})
+}
+
+// fleetNodeState is one node's row in a convergence summary: everything
+// about distribution state, nothing about how it got there.
+type fleetNodeState struct {
+	Addr  string
+	State string
+	Exts  []string
+}
+
+// fleetState is the fault-insensitive convergence summary: a healed, fully
+// reconciled fleet must reach the same fleetState a fault-free run reaches.
+type fleetState struct {
+	Nodes     []fleetNodeState
+	Scheduled int
+	Adapted   int64
+	Degraded  int64
+}
+
+// fleetRun additionally captures every counter and drift statistic, which a
+// same-seed replay must reproduce exactly.
+type fleetRun struct {
+	state    fleetState
+	drift    core.DriftCounters
+	counters map[string]uint64
+	gauges   map[string]int64
+}
+
+// fleetFaults is the churn plan, derived deterministically from the seed:
+// disjoint slices of the fleet to partition, crash, and roam.
+type fleetFaults struct {
+	partitioned []string
+	crashed     []string
+	roamed      []string
+}
+
+func planFleetFaults(seed int64, names []string) fleetFaults {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(names))
+	pick := func(from, n int) []string {
+		out := make([]string, 0, n)
+		for _, idx := range perm[from : from+n] {
+			out = append(out, names[idx])
+		}
+		sort.Strings(out)
+		return out
+	}
+	nPart := max(1, len(names)*2/100)  // ~2% drop off the network
+	nCrash := max(1, len(names)/100)   // ~1% crash and restart
+	nRoam := max(1, len(names)*5/1000) // ~0.5% roam away and back
+	return fleetFaults{
+		partitioned: pick(0, nPart),
+		crashed:     pick(nPart, nCrash),
+		roamed:      pick(nPart+nCrash, nRoam),
+	}
+}
+
+// runFleet plays one complete fleet scenario — adapt, optional churn, heal,
+// reconcile, stabilize — and returns its summary. Fault-free and faulty runs
+// follow the same clock schedule so their convergence states are comparable.
+func runFleet(t *testing.T, seed int64, nNodes int, withFaults bool) fleetRun {
+	t.Helper()
+	goroutineBaseline := runtime.NumGoroutine()
+
+	clk := clock.NewManual(time.Unix(0, 0))
+	net := simnet.New(clk, seed)
+	defer net.Close()
+
+	names := make([]string, nNodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%05d", i)
+	}
+	nodes := make(map[string]*fleetNode, nNodes)
+	for _, name := range names {
+		fn := newFleetNode(name, clk)
+		mux := transport.NewMux()
+		fn.serveOn(mux)
+		stop, err := net.Serve(name, mux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stop()
+		nodes[name] = fn
+	}
+
+	signer, err := sign.NewSigner("fleet-base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	breaker := transport.NewBreakerSet(seed, transport.BreakerConfig{
+		Threshold: 1,
+		Cooldown:  time.Minute,
+		Jitter:    0,
+		Clock:     clk,
+	})
+	base, err := core.NewBase(core.BaseConfig{
+		Name:          "fleet-base",
+		Addr:          "fleet-base",
+		Caller:        net.Node("fleet-base"),
+		Signer:        signer,
+		Clock:         clk,
+		Breaker:       breaker,
+		LeaseDur:      time.Minute,
+		RenewFraction: 0.5,
+		RenewRetries:  1,
+		CallTimeout:   time.Hour, // simulated time governs
+		Shards:        16,
+		RenewBatch:    64,
+		RenewWorkers:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	reg := metrics.New()
+	base.Instrument(reg)
+
+	for _, ext := range []core.Extension{
+		noopScenarioExt("policy", 1),
+		noopScenarioExt("telemetry", 1),
+	} {
+		if err := base.AddExtension(ext); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// t=0: the whole fleet walks into the cell.
+	for _, name := range names {
+		if err := base.AdaptNode(name, name); err != nil {
+			t.Fatalf("adapt %s: %v", name, err)
+		}
+	}
+	wantLeases := 2 * nNodes
+	if got := base.ScheduledRenewals(); got != wantLeases {
+		t.Fatalf("scheduled renewals = %d, want %d", got, wantLeases)
+	}
+	// The tentpole claim: keeping 2*N leases alive costs O(shards + wheels)
+	// goroutines — one wheel, a bounded worker pool — not O(leases).
+	if g := runtime.NumGoroutine(); g > goroutineBaseline+32 {
+		t.Fatalf("%d goroutines for %d leases (baseline %d): renewal scheduling is not O(shards+wheels)",
+			g, wantLeases, goroutineBaseline)
+	}
+
+	drain := func(total, step time.Duration) {
+		t.Helper()
+		for elapsed := time.Duration(0); elapsed < total; elapsed += step {
+			clk.Advance(step)
+			testutil.WaitFor(t, "renewals quiesced", base.RenewalsQuiesced)
+		}
+	}
+
+	faults := planFleetFaults(seed, names)
+	clk.Advance(5 * time.Second)
+
+	if withFaults {
+		// t=5s: churn hits. Partitioned nodes fall off the network, crashed
+		// nodes go down holding their state, roamers leave and come right
+		// back (release + re-adapt).
+		for _, name := range faults.partitioned {
+			net.PartitionBoth("fleet-base", name)
+		}
+		for _, name := range faults.crashed {
+			net.Crash(name)
+		}
+		for _, name := range faults.roamed {
+			base.Release(name)
+			if err := base.AdaptNode(name, name); err != nil {
+				t.Fatalf("re-adapt roamer %s: %v", name, err)
+			}
+		}
+	}
+
+	// One renewal window plus retry slack: unreachable nodes fail their
+	// renewals, trip their breakers and park degraded; everyone else renews.
+	drain(60*time.Second, 15*time.Second)
+
+	wantDegraded := []string{}
+	if withFaults {
+		wantDegraded = append(append(wantDegraded, faults.partitioned...), faults.crashed...)
+		sort.Strings(wantDegraded)
+	}
+	testutil.WaitFor(t, "faulted nodes parked degraded", func() bool {
+		got := base.Degraded()
+		if len(got) != len(wantDegraded) {
+			return false
+		}
+		sort.Strings(got)
+		return len(got) == 0 || reflect.DeepEqual(got, wantDegraded)
+	})
+	testutil.WaitFor(t, "degrade counters settled", func() bool {
+		return testutil.Counter(reg, "base.degrades") == uint64(len(wantDegraded))
+	})
+	// Roamer releases are the only departures; unreachable nodes must have
+	// parked degraded, not departed.
+	wantDeparts := uint64(0)
+	if withFaults {
+		wantDeparts = uint64(len(faults.roamed))
+	}
+	if got := testutil.Counter(reg, "base.departures"); got != wantDeparts {
+		t.Fatalf("base.departures = %d, want %d (roamer releases only)", got, wantDeparts)
+	}
+
+	// Heal everything and let the breakers' cooldown elapse; degraded nodes
+	// are parked (no renewal traffic), the rest keep renewing.
+	net.HealAll()
+	for _, name := range faults.crashed {
+		net.Restart(name)
+	}
+	drain(60*time.Second, 15*time.Second)
+
+	// Anti-entropy: one reconcile round promotes every parked node and
+	// adopts the leases its fake receiver still holds.
+	base.ReconcileNow(context.Background())
+	if got := base.Degraded(); len(got) != 0 {
+		t.Fatalf("degraded after heal+reconcile = %v, want none", got)
+	}
+
+	// One more window: adopted leases come due (their deadlines lapsed
+	// during the outage) and the whole fleet settles into steady renewal.
+	drain(60*time.Second, 15*time.Second)
+	testutil.WaitFor(t, "full fleet scheduled again", func() bool {
+		return base.ScheduledRenewals() == wantLeases
+	})
+
+	status := base.Status()
+	run := fleetRun{
+		state: fleetState{
+			Scheduled: base.ScheduledRenewals(),
+			Adapted:   testutil.Gauge(reg, "base.adapted_nodes"),
+			Degraded:  testutil.Gauge(reg, "base.degraded_nodes"),
+		},
+		drift: status.Drift,
+	}
+	for _, n := range status.Nodes {
+		run.state.Nodes = append(run.state.Nodes, fleetNodeState{Addr: n.Addr, State: n.State, Exts: n.Exts})
+	}
+	snap := reg.Snapshot()
+	run.counters = snap.Counters
+	run.gauges = snap.Gauges
+	return run
+}
+
+// TestFleetChurnConverges is the fleet-scale proof for this platform's base
+// station: a 10k-node fleet (FLEET_NODES to resize) survives seeded churn —
+// partitions, crashes, roams — and converges to exactly the state of a
+// fault-free fleet, while a same-seed replay reproduces the faulty run's
+// metrics bit for bit.
+func TestFleetChurnConverges(t *testing.T) {
+	seed := testutil.SeedFromEnv(t, "FLEET_SEED", fleetSeedDefault)
+	nNodes := fleetNodeCount(t)
+	t.Logf("fleet: %d nodes, seed %d", nNodes, seed)
+
+	clean := runFleet(t, seed, nNodes, false)
+	faulty := runFleet(t, seed, nNodes, true)
+	replay := runFleet(t, seed, nNodes, true)
+
+	// Convergence: churn must leave no trace in the distribution state.
+	if !reflect.DeepEqual(faulty.state, clean.state) {
+		t.Errorf("faulty fleet did not converge to the fault-free state:\n faulty: scheduled=%d adapted=%d degraded=%d nodes=%d\n  clean: scheduled=%d adapted=%d degraded=%d nodes=%d",
+			faulty.state.Scheduled, faulty.state.Adapted, faulty.state.Degraded, len(faulty.state.Nodes),
+			clean.state.Scheduled, clean.state.Adapted, clean.state.Degraded, len(clean.state.Nodes))
+	}
+	// Replayability: the seed pins the whole run, drift stats and counters
+	// included.
+	if !reflect.DeepEqual(replay, faulty) {
+		t.Errorf("same-seed replay diverged:\n first: drift=%+v counters=%v\nreplay: drift=%+v counters=%v",
+			faulty.drift, faulty.counters, replay.drift, replay.counters)
+	}
+	// And churn really happened: the faulty run parked and repaired nodes.
+	if faulty.counters["base.degrades"] == 0 {
+		t.Error("faulty run parked no nodes: churn plan did not bite")
+	}
+	if faulty.drift.Adopts == 0 {
+		t.Error("reconciliation adopted no leases after the heal")
+	}
+}

@@ -17,6 +17,17 @@ type Clock interface {
 	After(d time.Duration) <-chan time.Time
 }
 
+// Sleeper is an optional Clock extension for waiting until an absolute
+// instant. Unlike After, which measures from the moment of the call, Until
+// pins the deadline first — so a concurrent Advance on a Manual clock can
+// never slip between reading Now and arming the timer. The timer wheel uses
+// it to keep its tick grid exact.
+type Sleeper interface {
+	// Until returns a channel that delivers once the clock reaches t; a
+	// deadline already passed delivers immediately.
+	Until(t time.Time) <-chan time.Time
+}
+
 // Real is a Clock backed by the system clock.
 type Real struct{}
 
@@ -25,6 +36,9 @@ func (Real) Now() time.Time { return time.Now() }
 
 // After implements Clock.
 func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Until implements Sleeper.
+func (Real) Until(t time.Time) <-chan time.Time { return time.After(time.Until(t)) }
 
 // Manual is a deterministic Clock advanced explicitly by tests. The zero
 // value is not usable; construct it with NewManual.
@@ -63,6 +77,21 @@ func (m *Manual) After(d time.Duration) <-chan time.Time {
 		return ch
 	}
 	m.waiters = append(m.waiters, waiter{at: at, ch: ch})
+	return ch
+}
+
+// Until implements Sleeper: the channel fires when the clock reaches t. The
+// deadline is compared against the clock atomically, so an Advance racing the
+// call either satisfies the wait immediately or is seen by a later Advance.
+func (m *Manual) Until(t time.Time) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if !t.After(m.now) {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, waiter{at: t, ch: ch})
 	return ch
 }
 

@@ -1,0 +1,255 @@
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Wheel is a hashed timer wheel: a fixed ring of slots advanced by one
+// background goroutine, giving O(1) insert and cancel regardless of how many
+// timers are armed. It exists so that a base station keeping tens of
+// thousands of leases alive runs one goroutine per wheel instead of one per
+// lease.
+//
+// Deadlines are quantised up to the wheel's tick: a timer never fires early,
+// and fires at the first tick boundary at or after its deadline. Within one
+// processed tick timers fire ordered by (deadline, schedule order), so firing
+// order matches the order a sorted timer list would produce.
+//
+// The wheel aligns its wake-ups to its own tick grid (anchored at creation
+// time), which keeps firing instants deterministic on a Manual clock no
+// matter how the test advances it: a single large Advance processes every
+// elapsed tick in order.
+type Wheel struct {
+	clk  Clock
+	tick time.Duration
+
+	mu         sync.Mutex
+	slots      []map[*WheelTimer]struct{}
+	cursor     int       // slot processed by the most recent tick
+	lastTick   time.Time // instant of the most recent processed tick boundary
+	seq        uint64
+	n          int
+	stopped    bool
+	processing bool // an advance's callbacks/flush are still running
+	// onFlush runs after each wake-up that fired at least one timer, once all
+	// fired callbacks have run. A scheduler uses it to coalesce everything
+	// that came due in one advance before dispatching work.
+	onFlush func()
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// WheelTimer is one armed timer. Cancel is O(1).
+type WheelTimer struct {
+	w        *Wheel
+	fn       func()
+	deadline time.Time
+	seq      uint64
+	rounds   int
+	slot     int
+	state    timerState
+}
+
+type timerState uint8
+
+const (
+	timerPending timerState = iota
+	timerFired
+	timerCancelled
+)
+
+// NewWheel starts a wheel on clk with the given tick granularity and slot
+// count (defaults: 10ms, 512 slots).
+func NewWheel(clk Clock, tick time.Duration, slots int) *Wheel {
+	if clk == nil {
+		clk = Real{}
+	}
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	if slots <= 0 {
+		slots = 512
+	}
+	w := &Wheel{
+		clk:      clk,
+		tick:     tick,
+		slots:    make([]map[*WheelTimer]struct{}, slots),
+		lastTick: clk.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i := range w.slots {
+		w.slots[i] = make(map[*WheelTimer]struct{})
+	}
+	go w.run()
+	return w
+}
+
+// Tick returns the wheel's granularity.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Len reports how many timers are armed.
+func (w *Wheel) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Synced reports whether the wheel has fully processed every tick boundary
+// the clock has passed — including the fired timers' callbacks and the flush
+// hook. Deterministic tests use it as a barrier between manual advances.
+func (w *Wheel) Synced() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return true
+	}
+	return !w.processing && w.clk.Now().Sub(w.lastTick) < w.tick
+}
+
+// OnFlush registers fn to run after each wake-up that fired timers, once all
+// their callbacks have run. Must be set before timers are scheduled.
+func (w *Wheel) OnFlush(fn func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onFlush = fn
+}
+
+// Schedule arms a timer that runs fn (on the wheel goroutine) at the first
+// tick boundary at or after d from now. A non-positive d fires on the next
+// tick. Returns the timer handle; on a stopped wheel the timer is returned
+// already cancelled and never fires.
+func (w *Wheel) Schedule(d time.Duration, fn func()) *WheelTimer {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t := &WheelTimer{w: w, fn: fn, deadline: w.clk.Now().Add(d), seq: w.seq}
+	w.seq++
+	if w.stopped {
+		t.state = timerCancelled
+		return t
+	}
+	// Ticks until due, relative to the last processed boundary: never early,
+	// at most one tick late, and at least one tick out.
+	due := t.deadline.Sub(w.lastTick)
+	ticks := int64((due + w.tick - 1) / w.tick)
+	if ticks < 1 {
+		ticks = 1
+	}
+	t.slot = (w.cursor + int(ticks%int64(len(w.slots)))) % len(w.slots)
+	t.rounds = int((ticks - 1) / int64(len(w.slots)))
+	w.slots[t.slot][t] = struct{}{}
+	w.n++
+	return t
+}
+
+// Cancel disarms the timer; it reports false if the timer already fired or
+// was cancelled. A fired timer's callback may still be running.
+func (t *WheelTimer) Cancel() bool {
+	if t == nil || t.w == nil {
+		return false
+	}
+	t.w.mu.Lock()
+	defer t.w.mu.Unlock()
+	if t.state != timerPending {
+		return false
+	}
+	t.state = timerCancelled
+	delete(t.w.slots[t.slot], t)
+	t.w.n--
+	return true
+}
+
+// Stop halts the wheel goroutine. Armed timers never fire; on a Manual clock
+// the wheel's single pending After waiter is left behind (Manual has no
+// waiter cancellation). Safe to call once.
+func (w *Wheel) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	w.mu.Unlock()
+	close(w.stop)
+	<-w.done
+}
+
+func (w *Wheel) run() {
+	defer close(w.done)
+	sleeper, _ := w.clk.(Sleeper)
+	for {
+		w.mu.Lock()
+		next := w.lastTick.Add(w.tick)
+		wait := next.Sub(w.clk.Now())
+		w.mu.Unlock()
+		if wait <= 0 {
+			// The clock already passed the next boundary (large manual
+			// advance, slow callback): process due ticks without sleeping.
+			w.advance()
+			continue
+		}
+		// Pin the absolute boundary when the clock supports it, so a manual
+		// Advance racing the re-arm cannot push the wake-up past the grid.
+		var wake <-chan time.Time
+		if sleeper != nil {
+			wake = sleeper.Until(next)
+		} else {
+			wake = w.clk.After(wait)
+		}
+		select {
+		case <-w.stop:
+			return
+		case <-wake:
+			w.advance()
+		}
+	}
+}
+
+// advance processes every tick boundary the clock has passed, fires due
+// timers in (deadline, seq) order and runs the flush hook.
+func (w *Wheel) advance() {
+	w.mu.Lock()
+	steps := int64(w.clk.Now().Sub(w.lastTick) / w.tick)
+	var fired []*WheelTimer
+	for i := int64(0); i < steps; i++ {
+		w.cursor = (w.cursor + 1) % len(w.slots)
+		for t := range w.slots[w.cursor] {
+			if t.rounds > 0 {
+				t.rounds--
+				continue
+			}
+			t.state = timerFired
+			delete(w.slots[w.cursor], t)
+			w.n--
+			fired = append(fired, t)
+		}
+	}
+	w.lastTick = w.lastTick.Add(time.Duration(steps) * w.tick)
+	w.processing = len(fired) > 0
+	flush := w.onFlush
+	w.mu.Unlock()
+
+	if len(fired) == 0 {
+		return
+	}
+	defer func() {
+		w.mu.Lock()
+		w.processing = false
+		w.mu.Unlock()
+	}()
+	sort.Slice(fired, func(i, j int) bool {
+		if !fired[i].deadline.Equal(fired[j].deadline) {
+			return fired[i].deadline.Before(fired[j].deadline)
+		}
+		return fired[i].seq < fired[j].seq
+	})
+	for _, t := range fired {
+		t.fn()
+	}
+	if flush != nil {
+		flush()
+	}
+}

@@ -1,0 +1,200 @@
+package clock
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// wheelSeeds returns the seeds the property test runs at: a pinned set plus
+// an optional WHEEL_SEED override for replaying a failure.
+func wheelSeeds(t *testing.T) []int64 {
+	if s := os.Getenv("WHEEL_SEED"); s != "" {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad WHEEL_SEED %q: %v", s, err)
+		}
+		return []int64{seed}
+	}
+	return []int64{1, 42, 20030901}
+}
+
+// TestWheelMatchesSortedListOracle drives a wheel through random seeded
+// insert/cancel/advance sequences on the manual clock and checks, against a
+// naive sorted-list oracle, that every surviving deadline fires exactly once,
+// in (deadline, schedule-order) order, and that no cancelled timer ever
+// fires.
+func TestWheelMatchesSortedListOracle(t *testing.T) {
+	for _, seed := range wheelSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runWheelOracle(t, seed)
+		})
+	}
+}
+
+func runWheelOracle(t *testing.T, seed int64) {
+	const (
+		tick  = 10 * time.Millisecond
+		slots = 32 // small, so long delays exercise the rounds counter
+		ops   = 600
+	)
+	clk := NewManual(time.Unix(0, 0))
+	w := NewWheel(clk, tick, slots)
+	defer w.Stop()
+
+	var mu sync.Mutex
+	var fired []int // timer ids in fire order
+
+	rng := rand.New(rand.NewSource(seed))
+	type armed struct {
+		id       int
+		deadline time.Time
+		timer    *WheelTimer
+	}
+	var all []armed // every timer still expected to fire, in schedule order
+	cancelled := map[int]bool{}
+	nextID := 0
+
+	for op := 0; op < ops; op++ {
+		switch r := rng.Float64(); {
+		case r < 0.55:
+			// Schedule with a delay up to three full wheel revolutions.
+			d := time.Duration(rng.Int63n(int64(3 * slots * tick)))
+			id := nextID
+			nextID++
+			tm := w.Schedule(d, func() {
+				mu.Lock()
+				fired = append(fired, id)
+				mu.Unlock()
+			})
+			all = append(all, armed{id: id, deadline: clk.Now().Add(d), timer: tm})
+		case r < 0.75 && len(all) > 0:
+			// Cancel a random armed timer. Cancel's return value is the
+			// truth: true means it will never fire, false means it already
+			// did (or was cancelled before) and stays in the oracle.
+			pick := all[rng.Intn(len(all))]
+			if !cancelled[pick.id] && pick.timer.Cancel() {
+				cancelled[pick.id] = true
+			}
+		default:
+			clk.Advance(time.Duration(rng.Int63n(int64(5 * tick))))
+		}
+	}
+
+	// Drain: advance far past the last deadline, then wait for the wheel
+	// goroutine to deliver everything.
+	clk.Advance(time.Duration(4*slots) * tick)
+	var oracle []armed
+	for _, a := range all {
+		if !cancelled[a.id] {
+			oracle = append(oracle, a)
+		}
+	}
+	sort.SliceStable(oracle, func(i, j int) bool {
+		return oracle[i].deadline.Before(oracle[j].deadline)
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(fired)
+		mu.Unlock()
+		if n >= len(oracle) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+		clk.Advance(tick) // nudge, in case a re-arm raced the drain
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != len(oracle) {
+		t.Fatalf("fired %d timers, oracle expects %d", len(fired), len(oracle))
+	}
+	seen := map[int]int{}
+	for _, id := range fired {
+		seen[id]++
+		if cancelled[id] {
+			t.Fatalf("cancelled timer %d fired", id)
+		}
+	}
+	for i, want := range oracle {
+		if got := fired[i]; got != want.id {
+			t.Fatalf("fire order diverges at %d: got timer %d, oracle says %d (deadline %v)",
+				i, got, want.id, want.deadline)
+		}
+		if seen[want.id] != 1 {
+			t.Fatalf("timer %d fired %d times, want exactly once", want.id, seen[want.id])
+		}
+	}
+	if got := w.Len(); got != 0 {
+		t.Fatalf("wheel still holds %d timers after drain", got)
+	}
+}
+
+// TestWheelCancelAndStopSemantics pins the edge cases the scheduler relies
+// on: Cancel is O(1) truth, a stopped wheel never fires, and the flush hook
+// runs after a batch of fires.
+func TestWheelCancelAndStopSemantics(t *testing.T) {
+	clk := NewManual(time.Unix(0, 0))
+	w := NewWheel(clk, 10*time.Millisecond, 8)
+
+	var mu sync.Mutex
+	firedA := false
+	flushes := 0
+	w.OnFlush(func() {
+		mu.Lock()
+		flushes++
+		mu.Unlock()
+	})
+
+	a := w.Schedule(30*time.Millisecond, func() {
+		mu.Lock()
+		firedA = true
+		mu.Unlock()
+	})
+	b := w.Schedule(50*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	if !b.Cancel() {
+		t.Fatal("Cancel of an armed timer reported false")
+	}
+	if b.Cancel() {
+		t.Fatal("second Cancel reported true")
+	}
+
+	clk.Advance(40 * time.Millisecond)
+	waitUntilWheel(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firedA && flushes == 1
+	})
+	if a.Cancel() {
+		t.Fatal("Cancel of a fired timer reported true")
+	}
+
+	w.Stop()
+	c := w.Schedule(10*time.Millisecond, func() { t.Error("timer scheduled on stopped wheel fired") })
+	if c.Cancel() {
+		t.Fatal("timer scheduled on a stopped wheel should be born cancelled")
+	}
+	clk.Advance(time.Second)
+	time.Sleep(5 * time.Millisecond)
+	if got := w.Len(); got != 0 {
+		t.Fatalf("stopped wheel reports %d armed timers", got)
+	}
+}
+
+func waitUntilWheel(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -94,6 +95,22 @@ type BaseConfig struct {
 	// it is ever signed, pushed or woven anywhere. Nil skips the policy check
 	// but still rejects extensions using capabilities they do not declare.
 	Admission sandbox.Policy
+	// Shards splits the base's node table by consistent hash so adapt,
+	// renewal and reconcile traffic for different nodes proceeds under
+	// different locks, and reconcile rounds run one goroutine per shard
+	// (default 8).
+	Shards int
+	// RenewTick is the renewal timer wheel's granularity (default
+	// LeaseDur*RenewFraction/4, so a fresh lease's first renewal lands on its
+	// familiar window*fraction instant). One wheel goroutine plus RenewWorkers
+	// workers replace the former goroutine-per-lease renewers.
+	RenewTick time.Duration
+	// RenewBatch caps how many of a node's due leases coalesce into one
+	// batched midas.renewBatch RPC (default 64). RenewWorkers bounds
+	// concurrent renew RPCs (default 1, which keeps traced scenarios
+	// deterministic; fleet-scale deployments raise it).
+	RenewBatch   int
+	RenewWorkers int
 }
 
 // BaseActivity is one entry of the base's distribution log (§3.2: each base
@@ -107,15 +124,20 @@ type BaseActivity struct {
 }
 
 type adaptedNode struct {
-	id       string
-	addr     string
-	renewers map[string]*lease.Renewer // by extension name
+	id   string
+	addr string
 	// spanCtxs remembers, per extension, the span under which the push
 	// succeeded, so later renewals and revokes join the install's trace.
 	spanCtxs map[string]trace.SpanContext
 	// grants mirrors the lease state per pushed extension; it is what the
-	// journal checkpoints, so deadlines are absolute.
+	// journal checkpoints, so deadlines are absolute. An extension present
+	// here is being kept alive by the base's renewal scheduler.
 	grants map[string]grantInfo
+	// legacyRenew/legacyApply remember that this peer answered a batched RPC
+	// with ErrNoMethod: an old receiver without the batch surface, served
+	// singleton RPCs from then on.
+	legacyRenew bool
+	legacyApply bool
 }
 
 // grantInfo is the base's view of one pushed extension's lease.
@@ -130,7 +152,6 @@ func newAdaptedNode(id, addr string) *adaptedNode {
 	return &adaptedNode{
 		id:       id,
 		addr:     addr,
-		renewers: make(map[string]*lease.Renewer),
 		spanCtxs: make(map[string]trace.SpanContext),
 		grants:   make(map[string]grantInfo),
 	}
@@ -143,18 +164,22 @@ type Base struct {
 	cfg    BaseConfig
 	caller transport.Caller // cfg.Caller, wrapped by cfg.Policy when set
 
+	// nodes shards the adapted/degraded node state; sched keeps every pushed
+	// extension's lease alive on one timer wheel. closed is atomic so shard
+	// paths check it without the config lock. Lock order: a shard's mu may be
+	// held while taking b.mu or a scheduler lock, never the reverse.
+	nodes  *nodeTable
+	sched  *lease.Scheduler
+	closed atomic.Bool
+
 	mu         sync.Mutex
 	extensions []Extension
 	// reports holds the admission analysis of every accepted extension, by
 	// name; served over base.analyze and consulted by midasctl analyze.
-	reports map[string]AnalysisReport
-	adapted map[string]*adaptedNode // by node addr
-	// degraded parks nodes whose circuit was open when renewals failed: they
-	// are presumed partitioned (not departed) and wait for reconciliation.
-	degraded      map[string]string // node addr -> node id
+	reports       map[string]AnalysisReport
+	signed        map[string]SignedExtension // push signature cache, name@version
 	lastReconcile map[string]ReconcileResult
 	stats         DriftCounters
-	closed        bool
 	neighbors     []string
 	activity      []BaseActivity
 	reg           *metrics.Registry
@@ -188,8 +213,15 @@ type baseMetrics struct {
 	reconOrphans  *metrics.Counter
 	reconAdopts   *metrics.Counter
 	reconErrors   *metrics.Counter
-	adapted       *metrics.Gauge
-	degraded      *metrics.Gauge
+	// Batch-surface counters: batched renew RPCs (and the leases they
+	// carried), batched apply RPCs, and fallbacks to singleton RPCs for old
+	// peers without the batch surface.
+	renewBatches     *metrics.Counter
+	renewBatchLeases *metrics.Counter
+	pushBatches      *metrics.Counter
+	batchFallbacks   *metrics.Counter
+	adapted          *metrics.Gauge
+	degraded         *metrics.Gauge
 }
 
 // Instrument records node adaptations, extension pushes (and push failures),
@@ -200,31 +232,45 @@ func (b *Base) Instrument(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
+	b.sched.Instrument(reg)
+	nAdapted, nDegraded := b.nodes.counts()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.reg = reg
 	b.m = baseMetrics{
-		adapts:        reg.Counter("base.adapts"),
-		pushes:        reg.Counter("base.pushes"),
-		pushErrors:    reg.Counter("base.push_errors"),
-		admRejected:   reg.Counter("base.admission_rejected"),
-		departures:    reg.Counter("base.departures"),
-		revokes:       reg.Counter("base.revokes"),
-		roamHints:     reg.Counter("base.roam_hints"),
-		degrades:      reg.Counter("base.degrades"),
-		recovers:      reg.Counter("base.recovers"),
-		journalErrs:   reg.Counter("base.journal_errors"),
-		reconRounds:   reg.Counter("base.reconcile_rounds"),
-		reconRepushes: reg.Counter("base.reconcile_repushes"),
-		reconOrphans:  reg.Counter("base.reconcile_orphans"),
-		reconAdopts:   reg.Counter("base.reconcile_adopts"),
-		reconErrors:   reg.Counter("base.reconcile_errors"),
-		adapted:       reg.Gauge("base.adapted_nodes"),
-		degraded:      reg.Gauge("base.degraded_nodes"),
+		adapts:           reg.Counter("base.adapts"),
+		pushes:           reg.Counter("base.pushes"),
+		pushErrors:       reg.Counter("base.push_errors"),
+		admRejected:      reg.Counter("base.admission_rejected"),
+		departures:       reg.Counter("base.departures"),
+		revokes:          reg.Counter("base.revokes"),
+		roamHints:        reg.Counter("base.roam_hints"),
+		degrades:         reg.Counter("base.degrades"),
+		recovers:         reg.Counter("base.recovers"),
+		journalErrs:      reg.Counter("base.journal_errors"),
+		reconRounds:      reg.Counter("base.reconcile_rounds"),
+		reconRepushes:    reg.Counter("base.reconcile_repushes"),
+		reconOrphans:     reg.Counter("base.reconcile_orphans"),
+		reconAdopts:      reg.Counter("base.reconcile_adopts"),
+		reconErrors:      reg.Counter("base.reconcile_errors"),
+		renewBatches:     reg.Counter("base.renew_batch"),
+		renewBatchLeases: reg.Counter("base.renew_batch_leases"),
+		pushBatches:      reg.Counter("base.push_batch"),
+		batchFallbacks:   reg.Counter("base.batch_fallbacks"),
+		adapted:          reg.Gauge("base.adapted_nodes"),
+		degraded:         reg.Gauge("base.degraded_nodes"),
 	}
-	b.m.adapted.Set(int64(len(b.adapted)))
-	b.m.degraded.Set(int64(len(b.degraded)))
+	b.m.adapted.Set(int64(nAdapted))
+	b.m.degraded.Set(int64(nDegraded))
 	b.cfg.Breaker.Instrument(reg)
+}
+
+// metricsRef snapshots the metric handles under the config lock; every field
+// stays a nil-safe no-op until Instrument.
+func (b *Base) metricsRef() baseMetrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m
 }
 
 // NewBase builds a base.
@@ -244,22 +290,78 @@ func NewBase(cfg BaseConfig) (*Base, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.RenewTick <= 0 {
+		// A quarter of the renewal window: a fresh lease's first renewal
+		// quantises to exactly window*fraction (4 ticks), and the retry gap
+		// for small retry counts stays inside the remaining slack.
+		cfg.RenewTick = time.Duration(float64(cfg.LeaseDur) * cfg.RenewFraction / 4)
+	}
+	if cfg.RenewTick < time.Millisecond {
+		cfg.RenewTick = time.Millisecond
+	}
 	b := &Base{
 		cfg: cfg,
 		// nil Policy / nil Breaker leave the caller bare. The breaker wraps
 		// outermost so an open circuit fast-fails before the retry loop runs.
 		caller:        cfg.Breaker.Wrap(cfg.Policy.Wrap(cfg.Caller)),
+		nodes:         newNodeTable(cfg.Shards),
 		reports:       make(map[string]AnalysisReport),
-		adapted:       make(map[string]*adaptedNode),
-		degraded:      make(map[string]string),
+		signed:        make(map[string]SignedExtension),
 		lastReconcile: make(map[string]ReconcileResult),
 	}
+	b.sched = lease.NewScheduler(cfg.Clock, lease.SchedulerConfig{
+		Tick:     cfg.RenewTick,
+		Fraction: cfg.RenewFraction,
+		Retries:  cfg.RenewRetries,
+		MaxBatch: cfg.RenewBatch,
+		Workers:  cfg.RenewWorkers,
+		Renew:    b.renewNodeBatch,
+		OnRenew:  b.noteRenewal,
+		OnNodeFail: func(node string, err error) {
+			// Renewals failed for good: the node is out of reach. Handle the
+			// departure asynchronously so a slow roam hint never stalls the
+			// renewal workers serving other nodes.
+			go b.nodeDeparted(node)
+		},
+	})
 	if cfg.ReconcileEvery > 0 {
 		b.reconcileStop = make(chan struct{})
 		b.reconcileDone = make(chan struct{})
 		go b.reconcileLoop()
 	}
 	return b, nil
+}
+
+// ScheduledRenewals reports how many leases the renewal scheduler is keeping
+// alive — O(shards + wheels) goroutines do that work, not O(leases).
+func (b *Base) ScheduledRenewals() int { return b.sched.Len() }
+
+// RenewalsQuiesced reports whether the renewal scheduler has fully processed
+// every elapsed wheel tick with no renew calls queued or in flight.
+// Deterministic fleet tests use it as a barrier between manual clock steps.
+func (b *Base) RenewalsQuiesced() bool { return b.sched.Quiesced() }
+
+// signedFor returns ext signed by this base, caching per name@version: a
+// fleet-scale adapt round signs each extension once, not once per node.
+func (b *Base) signedFor(ext Extension) (SignedExtension, error) {
+	key := fmt.Sprintf("%s@%d", ext.Name, ext.Version)
+	b.mu.Lock()
+	s, ok := b.signed[key]
+	b.mu.Unlock()
+	if ok {
+		return s, nil
+	}
+	s, err := Sign(b.cfg.Signer, ext)
+	if err != nil {
+		return SignedExtension{}, err
+	}
+	b.mu.Lock()
+	b.signed[key] = s
+	b.mu.Unlock()
+	return s, nil
 }
 
 // Signer returns the base's signing identity (receivers must trust its
@@ -364,15 +466,40 @@ func (b *Base) AddExtension(ext Extension) error {
 		}
 	}
 	b.extensions = append(b.extensions, ext)
-	nodes := b.adaptedNodesLocked()
 	b.mu.Unlock()
 
-	for _, n := range nodes {
-		if err := b.pushExtension(context.Background(), n, ext); err != nil {
-			b.log("push", n.id, ext.Name, "failed: "+err.Error())
-		}
-	}
+	b.pushToAllNodes(ext)
 	return nil
+}
+
+// pushToAllNodes distributes one extension to every adapted node, one worker
+// goroutine per shard — an adapt round parallelises across shards instead of
+// serialising under a global lock.
+func (b *Base) pushToAllNodes(ext Extension) {
+	var wg sync.WaitGroup
+	for i := range b.nodes.shards {
+		s := &b.nodes.shards[i]
+		s.mu.Lock()
+		nodes := make([]*adaptedNode, 0, len(s.adapted))
+		for _, n := range s.adapted {
+			nodes = append(nodes, n)
+		}
+		s.mu.Unlock()
+		if len(nodes) == 0 {
+			continue
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a].addr < nodes[b].addr })
+		wg.Add(1)
+		go func(nodes []*adaptedNode) {
+			defer wg.Done()
+			for _, n := range nodes {
+				if err := b.pushExtension(context.Background(), n, ext); err != nil {
+					b.log("push", n.id, ext.Name, "failed: "+err.Error())
+				}
+			}
+		}(nodes)
+	}
+	wg.Wait()
 }
 
 // ReplaceExtension swaps in a newer version of an existing extension and
@@ -401,14 +528,9 @@ func (b *Base) ReplaceExtension(ext Extension) error {
 		b.mu.Unlock()
 		return fmt.Errorf("core: base has no extension %q", ext.Name)
 	}
-	nodes := b.adaptedNodesLocked()
 	b.mu.Unlock()
 
-	for _, n := range nodes {
-		if err := b.pushExtension(context.Background(), n, ext); err != nil {
-			b.log("push", n.id, ext.Name, "failed: "+err.Error())
-		}
-	}
+	b.pushToAllNodes(ext)
 	return nil
 }
 
@@ -429,35 +551,60 @@ func (b *Base) RemoveExtension(name string) error {
 	}
 	b.extensions = append(b.extensions[:idx], b.extensions[idx+1:]...)
 	delete(b.reports, name)
-	nodes := b.adaptedNodesLocked()
 	b.mu.Unlock()
 
-	tr := b.traceRef()
-	for _, n := range nodes {
-		b.stopRenewer(n.addr, name)
-		// Revoke inside the trace that installed the extension on this node.
-		rctx, sp := tr.StartSpan(trace.NewContext(context.Background(), b.pushSpanCtx(n.addr, name)), "base.revoke")
-		sp.Tag("ext", name)
-		sp.Tag("node", n.id)
-		ctx, cancel := context.WithTimeout(rctx, b.cfg.CallTimeout)
-		_, err := transport.Invoke[RevokeReq, EmptyResp](ctx, b.caller, n.addr, MethodRevoke, RevokeReq{Name: name})
-		cancel()
-		sp.End(err)
-		detail := ""
-		if err != nil {
-			detail = "failed: " + err.Error()
+	var wg sync.WaitGroup
+	for i := range b.nodes.shards {
+		s := &b.nodes.shards[i]
+		s.mu.Lock()
+		nodes := make([]*adaptedNode, 0, len(s.adapted))
+		for _, n := range s.adapted {
+			nodes = append(nodes, n)
 		}
-		b.log("revoke", n.id, name, detail)
+		s.mu.Unlock()
+		if len(nodes) == 0 {
+			continue
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a].addr < nodes[b].addr })
+		wg.Add(1)
+		go func(nodes []*adaptedNode) {
+			defer wg.Done()
+			for _, n := range nodes {
+				b.stopTracking(n.addr, name)
+				err := b.revokeExtension(context.Background(), n, name)
+				detail := ""
+				if err != nil {
+					detail = "failed: " + err.Error()
+				}
+				b.log("revoke", n.id, name, detail)
+			}
+		}(nodes)
 	}
+	wg.Wait()
 	return nil
+}
+
+// revokeExtension withdraws one extension at one node, inside the trace that
+// installed it there. The caller logs the outcome.
+func (b *Base) revokeExtension(ctx context.Context, n *adaptedNode, name string) error {
+	tr := b.traceRef()
+	rctx, sp := tr.StartSpan(trace.NewContext(ctx, b.pushSpanCtx(n.addr, name)), "base.revoke")
+	sp.Tag("ext", name)
+	sp.Tag("node", n.id)
+	ictx, cancel := context.WithTimeout(rctx, b.cfg.CallTimeout)
+	_, err := transport.Invoke[RevokeReq, EmptyResp](ictx, b.caller, n.addr, MethodRevoke, RevokeReq{Name: name})
+	cancel()
+	sp.End(err)
+	return err
 }
 
 // pushSpanCtx returns the span context under which ext was pushed to the
 // node at addr, or the zero context.
 func (b *Base) pushSpanCtx(nodeAddr, extName string) trace.SpanContext {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if n, ok := b.adapted[nodeAddr]; ok {
+	s := b.nodes.shard(nodeAddr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.adapted[nodeAddr]; ok {
 		return n.spanCtxs[extName]
 	}
 	return trace.SpanContext{}
@@ -484,19 +631,19 @@ func (b *Base) AdaptNode(nodeID, nodeAddr string) error {
 // discovery announcement that surfaced the node); without one it roots a new
 // trace.
 func (b *Base) AdaptNodeCtx(ctx context.Context, nodeID, nodeAddr string) error {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Load() {
 		return fmt.Errorf("core: base %s is closed", b.cfg.Name)
 	}
-	if _, dup := b.adapted[nodeAddr]; dup {
-		b.mu.Unlock()
+	s := b.nodes.shard(nodeAddr)
+	s.mu.Lock()
+	if _, dup := s.adapted[nodeAddr]; dup {
+		s.mu.Unlock()
 		return nil // already adapted
 	}
-	if _, deg := b.degraded[nodeAddr]; deg {
+	if _, deg := s.degraded[nodeAddr]; deg {
 		// The node is back from a partition, not newly arrived: reconcile its
 		// inventory instead of blindly re-pushing the whole policy set.
-		b.mu.Unlock()
+		s.mu.Unlock()
 		res := b.reconcileNode(ctx, nodeAddr)
 		if res.Err != "" {
 			return fmt.Errorf("core: reconcile %s: %s", nodeAddr, res.Err)
@@ -504,7 +651,9 @@ func (b *Base) AdaptNodeCtx(ctx context.Context, nodeID, nodeAddr string) error 
 		return nil
 	}
 	n := newAdaptedNode(nodeID, nodeAddr)
-	b.adapted[nodeAddr] = n
+	s.adapted[nodeAddr] = n
+	s.mu.Unlock()
+	b.mu.Lock()
 	exts := append([]Extension(nil), b.extensions...)
 	b.mu.Unlock()
 
@@ -513,9 +662,11 @@ func (b *Base) AdaptNodeCtx(ctx context.Context, nodeID, nodeAddr string) error 
 	sp.Annotatef("%d extensions to push", len(exts))
 
 	b.log("adapt", nodeID, "", fmt.Sprintf("%d extensions", len(exts)))
+	// The whole policy set rides one batched apply when the peer supports it.
+	installErrs, _ := b.applyToNode(ctx, n, exts, nil)
 	var firstErr error
 	for _, ext := range exts {
-		if err := b.pushExtension(ctx, n, ext); err != nil {
+		if err := installErrs[ext.Name]; err != nil {
 			b.log("push", nodeID, ext.Name, "failed: "+err.Error())
 			if firstErr == nil {
 				firstErr = err
@@ -526,26 +677,18 @@ func (b *Base) AdaptNodeCtx(ctx context.Context, nodeID, nodeAddr string) error 
 	if firstErr != nil {
 		// Nothing woven anywhere reachable: forget the node so a later
 		// attempt can retry cleanly.
-		b.mu.Lock()
-		empty := len(n.renewers) == 0
-		if empty {
-			delete(b.adapted, nodeAddr)
+		s.mu.Lock()
+		if len(n.grants) == 0 && s.adapted[nodeAddr] == n {
+			delete(s.adapted, nodeAddr)
 		}
-		b.mu.Unlock()
+		s.mu.Unlock()
 	}
 	return firstErr
 }
 
 // Adapted lists the addresses of currently adapted nodes, sorted.
 func (b *Base) Adapted() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]string, 0, len(b.adapted))
-	for addr := range b.adapted {
-		out = append(out, addr)
-	}
-	sort.Strings(out)
-	return out
+	return b.nodes.adaptedAddrs()
 }
 
 // Activity returns the distribution log.
@@ -561,28 +704,19 @@ func (b *Base) Activity() []BaseActivity {
 // record included — the release is deliberate); the receiver will expire and
 // withdraw the extensions on its own (§3.2's revocation path).
 func (b *Base) Release(nodeAddr string) {
-	b.mu.Lock()
-	n, ok := b.adapted[nodeAddr]
+	s := b.nodes.shard(nodeAddr)
+	s.mu.Lock()
+	n, ok := s.adapted[nodeAddr]
 	if ok {
-		delete(b.adapted, nodeAddr)
+		delete(s.adapted, nodeAddr)
 	}
-	_, wasDegraded := b.degraded[nodeAddr]
-	delete(b.degraded, nodeAddr)
-	var renewers []*lease.Renewer
-	if ok {
-		for _, r := range n.renewers {
-			renewers = append(renewers, r)
-		}
-	}
-	b.mu.Unlock()
-	for _, r := range renewers {
-		r.Stop()
-	}
+	_, wasDegraded := s.degraded[nodeAddr]
+	delete(s.degraded, nodeAddr)
+	s.mu.Unlock()
+	b.sched.CancelNode(nodeAddr)
 	if ok || wasDegraded {
 		if err := b.cfg.Journal.DeleteNode(nodeAddr); err != nil {
-			b.mu.Lock()
-			b.m.journalErrs.Inc()
-			b.mu.Unlock()
+			b.metricsRef().journalErrs.Inc()
 		}
 	}
 	if ok {
@@ -590,37 +724,30 @@ func (b *Base) Release(nodeAddr string) {
 	}
 }
 
-// Close stops the reconciler and every renewer. Unlike Release it keeps the
-// journal records: a graceful shutdown is indistinguishable from a crash on
-// restart, and Recover resumes the same state either way.
+// Close stops the reconciler and the renewal scheduler. Unlike Release it
+// keeps the journal records: a graceful shutdown is indistinguishable from a
+// crash on restart, and Recover resumes the same state either way.
 func (b *Base) Close() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Swap(true) {
 		return
 	}
-	b.closed = true
+	b.mu.Lock()
 	stop := b.reconcileStop
 	done := b.reconcileDone
-	nodes := b.adaptedNodesLocked()
-	b.adapted = make(map[string]*adaptedNode)
-	b.degraded = make(map[string]string)
 	b.mu.Unlock()
-
 	if stop != nil {
 		close(stop)
 		<-done
 	}
+	nodes := b.nodes.clear()
+	b.sched.Stop()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].addr < nodes[j].addr })
 	for _, n := range nodes {
-		for _, r := range n.renewers {
-			r.Stop()
-		}
 		b.log("depart", n.id, "", "released")
 	}
-	b.mu.Lock()
-	b.m.adapted.Set(0)
-	b.m.degraded.Set(0)
-	b.mu.Unlock()
+	m := b.metricsRef()
+	m.adapted.Set(0)
+	m.degraded.Set(0)
 }
 
 // Recover replays the base journal after a crash or restart: every
@@ -643,27 +770,27 @@ func (b *Base) Recover() (int, error) {
 	restored := 0
 	for _, addr := range addrs {
 		rec := recs[addr]
+		if b.closed.Load() {
+			break
+		}
+		s := b.nodes.shard(addr)
 		if rec.Degraded {
-			b.mu.Lock()
-			if _, dup := b.adapted[addr]; !dup && !b.closed {
-				b.degraded[addr] = rec.ID
+			s.mu.Lock()
+			if _, dup := s.adapted[addr]; !dup {
+				s.degraded[addr] = rec.ID
 			}
-			b.mu.Unlock()
+			s.mu.Unlock()
 			b.log("degrade", rec.ID, "", "restored from journal; awaiting reconciliation")
 			continue
 		}
 		n := newAdaptedNode(rec.ID, addr)
-		b.mu.Lock()
-		if b.closed {
-			b.mu.Unlock()
-			break
-		}
-		if _, dup := b.adapted[addr]; dup {
-			b.mu.Unlock()
+		s.mu.Lock()
+		if _, dup := s.adapted[addr]; dup {
+			s.mu.Unlock()
 			continue
 		}
-		b.adapted[addr] = n
-		b.mu.Unlock()
+		s.adapted[addr] = n
+		s.mu.Unlock()
 		names := make([]string, 0, len(rec.Exts))
 		for name := range rec.Exts {
 			names = append(names, name)
@@ -680,7 +807,7 @@ func (b *Base) Recover() (int, error) {
 			if g.dur <= 0 {
 				g.dur = b.cfg.LeaseDur
 			}
-			b.startRenewer(n, name, g, g.deadline.Sub(now), trace.SpanContext{})
+			b.trackGrant(n, name, g, g.deadline.Sub(now), trace.SpanContext{})
 		}
 		restored++
 		b.log("recover", rec.ID, "", fmt.Sprintf("%d leases resumed", len(rec.Exts)))
@@ -690,14 +817,7 @@ func (b *Base) Recover() (int, error) {
 
 // Degraded lists the addresses of nodes parked for reconciliation, sorted.
 func (b *Base) Degraded() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]string, 0, len(b.degraded))
-	for addr := range b.degraded {
-		out = append(out, addr)
-	}
-	sort.Strings(out)
-	return out
+	return b.nodes.degradedAddrs()
 }
 
 func (b *Base) pushExtension(ctx context.Context, n *adaptedNode, ext Extension) error {
@@ -705,7 +825,7 @@ func (b *Base) pushExtension(ctx context.Context, n *adaptedNode, ext Extension)
 	pctx, sp := tr.StartSpan(ctx, "base.push")
 	sp.Tag("ext", ext.Name)
 	sp.Tag("node", n.id)
-	signed, err := Sign(b.cfg.Signer, ext)
+	signed, err := b.signedFor(ext)
 	if err != nil {
 		sp.End(err)
 		return err
@@ -732,80 +852,40 @@ func (b *Base) pushExtension(ctx context.Context, n *adaptedNode, ext Extension)
 		dur:      b.cfg.LeaseDur,
 		deadline: b.cfg.Clock.Now().Add(b.cfg.LeaseDur),
 	}
-	if !b.startRenewer(n, ext.Name, g, b.cfg.LeaseDur, pushSC) {
+	if !b.trackGrant(n, ext.Name, g, b.cfg.LeaseDur, pushSC) {
 		// The node departed (or the base closed) while the push was in
-		// flight: there is no tracked node to keep alive, so no renewer is
-		// started — the receiver's lease will lapse on its own.
+		// flight: there is no tracked node to keep alive, so no renewal is
+		// scheduled — the receiver's lease will lapse on its own.
 		b.log("push", n.id, ext.Name, "node gone mid-push; lease left to expire")
 	}
 	return nil
 }
 
-// startRenewer builds the renewer that keeps ext alive at n, registers it and
-// starts it — unless the node was concurrently departed or the base closed,
-// in which case nothing is registered or started (a renewer for an untracked
-// node would leak: nobody would ever stop it). window is the first lease
-// window to renew within (the full lease on a fresh push, the remaining time
-// to the journalled deadline on recovery). Reports whether the renewer
-// started; on success the grant is recorded and the node checkpointed.
-func (b *Base) startRenewer(n *adaptedNode, extName string, g grantInfo, window time.Duration, sc trace.SpanContext) bool {
-	tr := b.traceRef()
+// trackGrant records the lease granted for ext at n and hands it to the
+// renewal scheduler — unless the node was concurrently departed or the base
+// closed, in which case nothing is registered (a scheduled renewal for an
+// untracked node would leak: nobody would ever cancel it). window is the
+// first lease window to renew within (the full lease on a fresh push, the
+// remaining time to the journalled deadline on recovery). Reports whether the
+// grant was tracked; on success the node is checkpointed.
+func (b *Base) trackGrant(n *adaptedNode, extName string, g grantInfo, window time.Duration, sc trace.SpanContext) bool {
 	if window <= 0 {
 		// The journalled deadline already passed: schedule an immediate
 		// renewal attempt; if the receiver expired the lease, the failure
 		// flows into the ordinary departure/degradation path.
 		window = time.Millisecond
 	}
-	renewer := lease.NewRenewer(b.cfg.Clock,
-		lease.Lease{ID: g.leaseID, Duration: window},
-		func(id lease.ID, d time.Duration) (lease.Lease, error) {
-			// Each renewal is a child span of the push that installed the
-			// extension, so the whole lease history reads as one trace.
-			lctx, lsp := tr.StartSpan(trace.NewContext(context.Background(), sc), "lease.renew")
-			lsp.Tag("ext", extName)
-			lsp.Tag("node", n.id)
-			rctx, rcancel := context.WithTimeout(lctx, b.cfg.CallTimeout)
-			defer rcancel()
-			resp, err := transport.Invoke[RenewExtReq, RenewExtResp](rctx, b.caller, n.addr, MethodRenewE, RenewExtReq{
-				LeaseID:   string(id),
-				DurMillis: b.cfg.LeaseDur.Milliseconds(),
-			})
-			lsp.End(err)
-			if err != nil {
-				return lease.Lease{}, err
-			}
-			// Adopt the receiver's actually granted duration, which may be
-			// shorter than requested.
-			granted := time.Duration(resp.DurMillis) * time.Millisecond
-			if granted <= 0 {
-				granted = b.cfg.LeaseDur
-			}
-			b.noteRenewal(n, extName, granted)
-			return lease.Lease{ID: id, Duration: granted}, nil
-		},
-		b.cfg.RenewFraction,
-		func(error) {
-			// Renewal failed: the node is out of reach. Handle departure
-			// asynchronously (we are on the renewer's own goroutine).
-			go b.nodeDeparted(n.addr)
-		})
-
-	renewer.SetRetries(b.cfg.RenewRetries)
-
-	b.mu.Lock()
-	reg := b.reg
-	b.mu.Unlock()
-	renewer.Instrument(reg)
-
-	b.mu.Lock()
-	if b.closed || b.adapted[n.addr] != n {
-		b.mu.Unlock()
+	s := b.nodes.shard(n.addr)
+	s.mu.Lock()
+	if b.closed.Load() || s.adapted[n.addr] != n {
+		s.mu.Unlock()
 		return false
 	}
-	if old, dup := n.renewers[extName]; dup {
-		go old.Stop()
+	if old, dup := n.grants[extName]; dup && old.leaseID != g.leaseID {
+		// Replaced mid-flight (e.g. a version upgrade): the old lease is no
+		// longer ours to keep alive.
+		b.sched.Cancel(n.addr, old.leaseID)
 	}
-	n.renewers[extName] = renewer
 	if n.spanCtxs == nil {
 		n.spanCtxs = make(map[string]trace.SpanContext)
 	}
@@ -814,32 +894,38 @@ func (b *Base) startRenewer(n *adaptedNode, extName string, g grantInfo, window 
 		n.grants = make(map[string]grantInfo)
 	}
 	n.grants[extName] = g
-	b.journalNodeLocked(n)
-	b.mu.Unlock()
-	renewer.Start()
+	b.journalNode(n)
+	b.sched.Add(n.addr, g.leaseID, window)
+	s.mu.Unlock()
 	return true
 }
 
 // noteRenewal records a successful renewal's new absolute deadline and
-// checkpoints it.
-func (b *Base) noteRenewal(n *adaptedNode, extName string, granted time.Duration) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.adapted[n.addr] != n {
-		return
-	}
-	g, ok := n.grants[extName]
+// checkpoints it. It is the scheduler's OnRenew callback, so the lease is
+// identified by (node, lease ID) rather than extension name.
+func (b *Base) noteRenewal(node string, id lease.ID, granted time.Duration) {
+	s := b.nodes.shard(node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.adapted[node]
 	if !ok {
 		return
 	}
-	g.dur = granted
-	g.deadline = b.cfg.Clock.Now().Add(granted)
-	n.grants[extName] = g
-	b.journalNodeLocked(n)
+	for name, g := range n.grants {
+		if g.leaseID != id {
+			continue
+		}
+		g.dur = granted
+		g.deadline = b.cfg.Clock.Now().Add(granted)
+		n.grants[name] = g
+		b.journalNode(n)
+		return
+	}
 }
 
-// journalNodeLocked checkpoints one node's record. Callers hold b.mu.
-func (b *Base) journalNodeLocked(n *adaptedNode) {
+// journalNode checkpoints one node's record. Callers hold the node's shard
+// lock.
+func (b *Base) journalNode(n *adaptedNode) {
 	if b.cfg.Journal == nil {
 		return
 	}
@@ -853,35 +939,39 @@ func (b *Base) journalNodeLocked(n *adaptedNode) {
 		}
 	}
 	if err := b.cfg.Journal.PutNode(n.addr, rec); err != nil {
-		b.m.journalErrs.Inc()
+		b.metricsRef().journalErrs.Inc()
 	}
 }
 
 func (b *Base) nodeDeparted(nodeAddr string) {
+	// Whatever the node's fate, its scheduled renewals stop now; degraded
+	// nodes re-enter through reconciliation, which re-arms the scheduler.
+	b.sched.CancelNode(nodeAddr)
+
 	// When the node's circuit is open the link is down but the node may well
 	// still be in our space: park it as degraded for reconciliation instead
 	// of treating it as a departure (no roam hints — it did not move).
 	degrade := b.cfg.Breaker.State(nodeAddr) != transport.BreakerClosed
-
-	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		degrade = false
 	}
-	n, ok := b.adapted[nodeAddr]
+
+	s := b.nodes.shard(nodeAddr)
+	s.mu.Lock()
+	n, ok := s.adapted[nodeAddr]
 	if ok {
-		delete(b.adapted, nodeAddr)
+		delete(s.adapted, nodeAddr)
 		if degrade {
-			b.degraded[nodeAddr] = n.id
+			s.degraded[nodeAddr] = n.id
 		}
 	}
+	s.mu.Unlock()
+	b.mu.Lock()
 	neighbors := append([]string(nil), b.neighbors...)
 	cb := b.onDepart
 	b.mu.Unlock()
 	if !ok {
 		return
-	}
-	for _, r := range n.renewers {
-		r.Stop()
 	}
 	tr := b.traceRef()
 	if degrade {
@@ -894,7 +984,7 @@ func (b *Base) nodeDeparted(nodeAddr string) {
 		// Keep the journal record but flag it, so a restarted base knows to
 		// reconcile rather than resume renewals.
 		if b.cfg.Journal != nil {
-			b.mu.Lock()
+			s.mu.Lock()
 			rec := NodeRecord{ID: n.id, Degraded: true, Exts: make(map[string]GrantRecord, len(n.grants))}
 			for name, g := range n.grants {
 				rec.Exts[name] = GrantRecord{
@@ -904,17 +994,15 @@ func (b *Base) nodeDeparted(nodeAddr string) {
 					DeadlineMillis: g.deadline.UnixMilli(),
 				}
 			}
+			s.mu.Unlock()
 			if err := b.cfg.Journal.PutNode(nodeAddr, rec); err != nil {
-				b.m.journalErrs.Inc()
+				b.metricsRef().journalErrs.Inc()
 			}
-			b.mu.Unlock()
 		}
 		return
 	}
 	if err := b.cfg.Journal.DeleteNode(nodeAddr); err != nil {
-		b.mu.Lock()
-		b.m.journalErrs.Inc()
-		b.mu.Unlock()
+		b.metricsRef().journalErrs.Inc()
 	}
 	_, dsp := tr.StartSpan(context.Background(), "base.depart")
 	dsp.Tag("node", n.id)
@@ -941,30 +1029,28 @@ func (b *Base) nodeDeparted(nodeAddr string) {
 	}
 }
 
-func (b *Base) stopRenewer(nodeAddr, extName string) {
-	b.mu.Lock()
-	var r *lease.Renewer
-	if n, ok := b.adapted[nodeAddr]; ok {
-		r = n.renewers[extName]
-		delete(n.renewers, extName)
-		delete(n.grants, extName)
-		b.journalNodeLocked(n)
+// stopTracking forgets the grant for extName at nodeAddr and cancels its
+// scheduled renewal. The push span context is kept: revocation spans join the
+// original install trace even after the grant is gone.
+func (b *Base) stopTracking(nodeAddr, extName string) {
+	s := b.nodes.shard(nodeAddr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.adapted[nodeAddr]
+	if !ok {
+		return
 	}
-	b.mu.Unlock()
-	if r != nil {
-		r.Stop()
+	if g, held := n.grants[extName]; held {
+		b.sched.Cancel(nodeAddr, g.leaseID)
 	}
-}
-
-func (b *Base) adaptedNodesLocked() []*adaptedNode {
-	out := make([]*adaptedNode, 0, len(b.adapted))
-	for _, n := range b.adapted {
-		out = append(out, n)
-	}
-	return out
+	delete(n.grants, extName)
+	b.journalNode(n)
 }
 
 func (b *Base) log(ev, node, ext, detail string) {
+	// Gauge values come from the shard table; compute them before taking
+	// b.mu (lock order: shard locks never follow b.mu).
+	nAdapted, nDegraded := b.nodes.counts()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.activity = append(b.activity, BaseActivity{
@@ -994,8 +1080,8 @@ func (b *Base) log(ev, node, ext, detail string) {
 	case "recover":
 		b.m.recovers.Inc()
 	}
-	b.m.adapted.Set(int64(len(b.adapted)))
-	b.m.degraded.Set(int64(len(b.degraded)))
+	b.m.adapted.Set(int64(nAdapted))
+	b.m.degraded.Set(int64(nDegraded))
 }
 
 // ServeOn registers the base's RPC surface on mux: the monitoring record

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sandbox"
 	"repro/internal/sign"
 	"repro/internal/store"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 	"repro/internal/weave"
 )
@@ -40,14 +41,7 @@ func (c *cluster) close() {
 
 func waitUntil(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.After(5 * time.Second)
-	for !cond() {
-		select {
-		case <-deadline:
-			t.Fatalf("timeout waiting for %s", what)
-		case <-time.After(2 * time.Millisecond):
-		}
-	}
+	testutil.WaitFor(t, what, cond)
 }
 
 func newCluster(t *testing.T, leaseDur time.Duration) *cluster {

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/lease"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Batched RPC surface: at fleet scale the base coalesces per-node traffic —
+// all of a node's due lease renewals ride one midas.renewBatch call, and the
+// installs+revokes a reconcile diff (or a multi-extension adapt) produces for
+// one node ride one midas.applyBatch call. Old peers that do not serve the
+// batch methods are detected through ErrNoMethod and remembered, and the base
+// falls back to the singleton RPCs for them.
+
+// RPC method names of the batch surface.
+const (
+	MethodRenewBatch = "midas.renewBatch"
+	MethodApplyBatch = "midas.applyBatch"
+)
+
+// Wire types for the batch surface.
+type (
+	// RenewBatchReq renews several leases at one node in one exchange.
+	RenewBatchReq struct {
+		Items []RenewExtReq
+	}
+	// RenewItemResp is one lease's renewal outcome; Err is the remote error
+	// text ("" on success) so one bad lease does not fail its batch-mates.
+	RenewItemResp struct {
+		DurMillis int64
+		Err       string
+	}
+	// RenewBatchResp carries the per-item outcomes, aligned with the request.
+	RenewBatchResp struct {
+		Items []RenewItemResp
+	}
+	// ApplyBatchReq bundles the installs and revokes one reconcile diff (or
+	// adapt round) produced for one node.
+	ApplyBatchReq struct {
+		Installs []InstallReq
+		Revokes  []string
+	}
+	// InstallItemResp is one install's outcome.
+	InstallItemResp struct {
+		LeaseID string
+		Err     string
+	}
+	// RevokeItemResp is one revoke's outcome; revoking an extension that is
+	// already gone succeeds, like the singleton revoke.
+	RevokeItemResp struct {
+		Err string
+	}
+	// ApplyBatchResp carries per-item outcomes, aligned with the request.
+	ApplyBatchResp struct {
+		Installs []InstallItemResp
+		Revokes  []RevokeItemResp
+	}
+)
+
+// serveBatch registers the receiver's batch endpoints on mux.
+func (r *Receiver) serveBatch(mux *transport.Mux) {
+	transport.Register(mux, MethodRenewBatch, func(ctx context.Context, req RenewBatchReq) (RenewBatchResp, error) {
+		resp := RenewBatchResp{Items: make([]RenewItemResp, len(req.Items))}
+		for i, it := range req.Items {
+			l, err := r.renewLease(ctx, lease.ID(it.LeaseID), time.Duration(it.DurMillis)*time.Millisecond)
+			if err != nil {
+				resp.Items[i].Err = err.Error()
+				continue
+			}
+			resp.Items[i].DurMillis = l.Duration.Milliseconds()
+		}
+		return resp, nil
+	})
+	transport.Register(mux, MethodApplyBatch, func(ctx context.Context, req ApplyBatchReq) (ApplyBatchResp, error) {
+		resp := ApplyBatchResp{
+			Installs: make([]InstallItemResp, len(req.Installs)),
+			Revokes:  make([]RevokeItemResp, len(req.Revokes)),
+		}
+		for i, ins := range req.Installs {
+			id, err := r.InstallCtx(ctx, ins.Signed, ins.BaseAddr, time.Duration(ins.DurMillis)*time.Millisecond)
+			if err != nil {
+				resp.Installs[i].Err = err.Error()
+				continue
+			}
+			resp.Installs[i].LeaseID = string(id)
+		}
+		for i, name := range req.Revokes {
+			if err := r.WithdrawCtx(ctx, name); err != nil && !errors.Is(err, ErrNotInstalled) {
+				resp.Revokes[i].Err = err.Error()
+			}
+		}
+		return resp, nil
+	})
+}
+
+// renewNodeBatch is the scheduler's BatchRenewFunc: it renews every due lease
+// held at node. A single due lease keeps the singleton midas.renew call (and
+// its familiar one-span-per-renewal trace shape); multiple due leases
+// coalesce into one midas.renewBatch call, falling back to singletons for old
+// peers. A call-level error fails the whole batch — the scheduler's retry
+// pacing takes over from there.
+func (b *Base) renewNodeBatch(node string, items []lease.BatchItem) ([]lease.BatchResult, error) {
+	metaByID, legacy, ok := b.renewMeta(node, items)
+	if !ok {
+		return nil, fmt.Errorf("core: node %s is no longer tracked", node)
+	}
+	if len(items) == 1 || legacy {
+		out := make([]lease.BatchResult, len(items))
+		for i, it := range items {
+			out[i] = b.renewOne(node, it.ID, metaByID[it.ID])
+		}
+		return out, nil
+	}
+
+	m := b.metricsRef()
+	tr := b.traceRef()
+	_, sp := tr.StartSpan(context.Background(), "lease.renewBatch")
+	sp.Tag("node", node)
+	sp.Annotatef("%d leases due", len(items))
+	req := RenewBatchReq{Items: make([]RenewExtReq, len(items))}
+	for i, it := range items {
+		req.Items[i] = RenewExtReq{LeaseID: string(it.ID), DurMillis: b.cfg.LeaseDur.Milliseconds()}
+	}
+	rctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
+	resp, err := transport.Invoke[RenewBatchReq, RenewBatchResp](rctx, b.caller, node, MethodRenewBatch, req)
+	cancel()
+	sp.End(err)
+	if errors.Is(err, transport.ErrNoMethod) {
+		// Old peer: remember it and renew one by one from now on.
+		b.markLegacyRenew(node)
+		m.batchFallbacks.Inc()
+		out := make([]lease.BatchResult, len(items))
+		for i, it := range items {
+			out[i] = b.renewOne(node, it.ID, metaByID[it.ID])
+		}
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.renewBatches.Inc()
+	m.renewBatchLeases.Add(uint64(len(items)))
+
+	out := make([]lease.BatchResult, len(items))
+	for i, it := range items {
+		out[i] = lease.BatchResult{ID: it.ID}
+		var ierr error
+		if i >= len(resp.Items) {
+			ierr = fmt.Errorf("core: renew batch to %s: truncated response", node)
+		} else if resp.Items[i].Err != "" {
+			ierr = transport.NewRemoteError(MethodRenewBatch, resp.Items[i].Err)
+		} else {
+			out[i].Granted = time.Duration(resp.Items[i].DurMillis) * time.Millisecond
+			if out[i].Granted <= 0 {
+				out[i].Granted = b.cfg.LeaseDur
+			}
+		}
+		out[i].Err = ierr
+		// Each lease's renewal is still a span of the trace that installed
+		// the extension, batched or not.
+		meta := metaByID[it.ID]
+		_, lsp := tr.StartSpan(trace.NewContext(context.Background(), meta.sc), "lease.renew")
+		lsp.Tag("ext", meta.ext)
+		lsp.Tag("node", meta.nodeID)
+		lsp.End(ierr)
+	}
+	return out, nil
+}
+
+// renewMeta snapshots per-lease trace metadata (and the node's legacy flag)
+// under the node's shard lock.
+func (b *Base) renewMeta(node string, items []lease.BatchItem) (map[lease.ID]renewItemMeta, bool, bool) {
+	s := b.nodes.shard(node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.adapted[node]
+	if n == nil {
+		return nil, false, false
+	}
+	meta := make(map[lease.ID]renewItemMeta, len(items))
+	for _, it := range items {
+		for name, g := range n.grants {
+			if g.leaseID == it.ID {
+				meta[it.ID] = renewItemMeta{ext: name, nodeID: n.id, sc: n.spanCtxs[name]}
+				break
+			}
+		}
+	}
+	return meta, n.legacyRenew, true
+}
+
+type renewItemMeta struct {
+	ext    string
+	nodeID string
+	sc     trace.SpanContext
+}
+
+func (b *Base) markLegacyRenew(node string) {
+	s := b.nodes.shard(node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.adapted[node]; n != nil {
+		n.legacyRenew = true
+	}
+}
+
+// renewOne performs a singleton midas.renew, preserving the pre-batching
+// trace shape: one "lease.renew" span per renewal, a child of the push that
+// installed the extension.
+func (b *Base) renewOne(node string, id lease.ID, meta renewItemMeta) lease.BatchResult {
+	tr := b.traceRef()
+	lctx, lsp := tr.StartSpan(trace.NewContext(context.Background(), meta.sc), "lease.renew")
+	lsp.Tag("ext", meta.ext)
+	lsp.Tag("node", meta.nodeID)
+	rctx, cancel := context.WithTimeout(lctx, b.cfg.CallTimeout)
+	resp, err := transport.Invoke[RenewExtReq, RenewExtResp](rctx, b.caller, node, MethodRenewE, RenewExtReq{
+		LeaseID:   string(id),
+		DurMillis: b.cfg.LeaseDur.Milliseconds(),
+	})
+	cancel()
+	lsp.End(err)
+	if err != nil {
+		return lease.BatchResult{ID: id, Err: err}
+	}
+	granted := time.Duration(resp.DurMillis) * time.Millisecond
+	if granted <= 0 {
+		granted = b.cfg.LeaseDur
+	}
+	return lease.BatchResult{ID: id, Granted: granted}
+}
+
+// applyToNode delivers installs and revokes to one node, batched into a
+// single midas.applyBatch exchange when there is more than one operation and
+// the peer supports it. It returns per-extension outcomes; push successes are
+// logged (and counted) here, push failures and revoke outcomes are the
+// caller's to log, mirroring the singleton paths.
+func (b *Base) applyToNode(ctx context.Context, n *adaptedNode, installs []Extension, revokes []string) (installErrs, revokeErrs map[string]error) {
+	installErrs = make(map[string]error, len(installs))
+	revokeErrs = make(map[string]error, len(revokes))
+	if len(installs)+len(revokes) == 0 {
+		return installErrs, revokeErrs
+	}
+
+	s := b.nodes.shard(n.addr)
+	s.mu.Lock()
+	legacy := n.legacyApply
+	s.mu.Unlock()
+
+	singleton := func() {
+		for _, ext := range installs {
+			installErrs[ext.Name] = b.pushExtension(ctx, n, ext)
+		}
+		for _, name := range revokes {
+			revokeErrs[name] = b.revokeExtension(ctx, n, name)
+		}
+	}
+	if legacy || len(installs)+len(revokes) == 1 {
+		singleton()
+		return installErrs, revokeErrs
+	}
+
+	m := b.metricsRef()
+	tr := b.traceRef()
+	pctx, sp := tr.StartSpan(ctx, "base.pushBatch")
+	sp.Tag("node", n.id)
+	sp.Annotatef("%d installs, %d revokes", len(installs), len(revokes))
+
+	req := ApplyBatchReq{Revokes: revokes}
+	sent := make([]Extension, 0, len(installs))
+	for _, ext := range installs {
+		signed, err := b.signedFor(ext)
+		if err != nil {
+			installErrs[ext.Name] = err
+			continue
+		}
+		req.Installs = append(req.Installs, InstallReq{
+			Signed:    signed,
+			BaseAddr:  b.cfg.Addr,
+			DurMillis: b.cfg.LeaseDur.Milliseconds(),
+		})
+		sent = append(sent, ext)
+	}
+
+	ictx, cancel := context.WithTimeout(pctx, b.cfg.CallTimeout)
+	resp, err := transport.Invoke[ApplyBatchReq, ApplyBatchResp](ictx, b.caller, n.addr, MethodApplyBatch, req)
+	cancel()
+	if errors.Is(err, transport.ErrNoMethod) {
+		sp.Annotatef("peer has no batch surface; falling back to singletons")
+		sp.End(nil)
+		s.mu.Lock()
+		n.legacyApply = true
+		s.mu.Unlock()
+		m.batchFallbacks.Inc()
+		singleton()
+		return installErrs, revokeErrs
+	}
+	sp.End(err)
+	if err != nil {
+		werr := fmt.Errorf("core: apply batch to %s: %w", n.addr, err)
+		for _, ext := range sent {
+			installErrs[ext.Name] = werr
+		}
+		for _, name := range revokes {
+			revokeErrs[name] = werr
+		}
+		return installErrs, revokeErrs
+	}
+	m.pushBatches.Inc()
+	batchSC := sp.Context()
+
+	for i, ext := range sent {
+		if i >= len(resp.Installs) {
+			installErrs[ext.Name] = fmt.Errorf("core: apply batch to %s: truncated response", n.addr)
+			continue
+		}
+		if e := resp.Installs[i].Err; e != "" {
+			installErrs[ext.Name] = fmt.Errorf("core: push %q to %s: %w", ext.Name, n.addr, transport.NewRemoteError(MethodApplyBatch, e))
+			continue
+		}
+		installErrs[ext.Name] = nil
+		b.log("push", n.id, ext.Name, "")
+		g := grantInfo{
+			version:  ext.Version,
+			leaseID:  lease.ID(resp.Installs[i].LeaseID),
+			dur:      b.cfg.LeaseDur,
+			deadline: b.cfg.Clock.Now().Add(b.cfg.LeaseDur),
+		}
+		if !b.trackGrant(n, ext.Name, g, b.cfg.LeaseDur, batchSC) {
+			b.log("push", n.id, ext.Name, "node gone mid-push; lease left to expire")
+		}
+	}
+	for i, name := range revokes {
+		if i >= len(resp.Revokes) {
+			revokeErrs[name] = fmt.Errorf("core: apply batch to %s: truncated response", n.addr)
+			continue
+		}
+		if e := resp.Revokes[i].Err; e != "" {
+			revokeErrs[name] = transport.NewRemoteError(MethodApplyBatch, e)
+			continue
+		}
+		revokeErrs[name] = nil
+	}
+	return installErrs, revokeErrs
+}

@@ -786,6 +786,7 @@ type (
 
 // ServeOn registers the receiver's RPC surface on mux.
 func (r *Receiver) ServeOn(mux *transport.Mux) {
+	r.serveBatch(mux)
 	transport.Register(mux, MethodInstall, func(ctx context.Context, req InstallReq) (InstallResp, error) {
 		id, err := r.InstallCtx(ctx, req.Signed, req.BaseAddr, time.Duration(req.DurMillis)*time.Millisecond)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/lease"
@@ -93,30 +94,42 @@ func (b *Base) reconcileLoop() {
 }
 
 // ReconcileNow runs one anti-entropy round over every adapted and degraded
-// node, returning the per-node results keyed by address.
+// node, returning the per-node results keyed by address. The round fans out
+// one goroutine per node-table shard: nodes in different shards reconcile
+// concurrently (they share no lock), while each shard's nodes are visited in
+// address order.
 func (b *Base) ReconcileNow(ctx context.Context) map[string]ReconcileResult {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Load() {
 		return nil
 	}
-	targets := make([]string, 0, len(b.adapted)+len(b.degraded))
-	for addr := range b.adapted {
-		targets = append(targets, addr)
-	}
-	for addr := range b.degraded {
-		targets = append(targets, addr)
-	}
+	b.mu.Lock()
 	rounds := b.m.reconRounds
 	b.stats.Rounds++
 	b.mu.Unlock()
 	rounds.Inc()
 
-	sort.Strings(targets)
-	out := make(map[string]ReconcileResult, len(targets))
-	for _, addr := range targets {
-		out[addr] = b.reconcileNode(ctx, addr)
+	groups := b.nodes.perShardTargets()
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		out = make(map[string]ReconcileResult)
+	)
+	for _, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(addrs []string) {
+			defer wg.Done()
+			for _, addr := range addrs {
+				res := b.reconcileNode(ctx, addr)
+				mu.Lock()
+				out[addr] = res
+				mu.Unlock()
+			}
+		}(group)
 	}
+	wg.Wait()
 	return out
 }
 
@@ -140,13 +153,15 @@ func (b *Base) reconcileNode(ctx context.Context, addr string) ReconcileResult {
 		return res
 	}
 
+	s := b.nodes.shard(addr)
+	s.mu.Lock()
+	n, adapted := s.adapted[addr]
+	id, wasDegraded := s.degraded[addr]
+	s.mu.Unlock()
 	b.mu.Lock()
-	n, adapted := b.adapted[addr]
-	id, wasDegraded := b.degraded[addr]
 	desired := append([]Extension(nil), b.extensions...)
-	closed := b.closed
 	b.mu.Unlock()
-	if closed {
+	if b.closed.Load() {
 		sp.End(nil)
 		return res
 	}
@@ -162,19 +177,14 @@ func (b *Base) reconcileNode(ctx context.Context, addr string) ReconcileResult {
 			nodeID = inv.Node
 		}
 		n = newAdaptedNode(nodeID, addr)
-		b.mu.Lock()
-		if b.closed {
-			b.mu.Unlock()
-			sp.End(nil)
-			return res
-		}
-		if cur, dup := b.adapted[addr]; dup {
+		s.mu.Lock()
+		if cur, dup := s.adapted[addr]; dup {
 			n = cur
 		} else {
-			delete(b.degraded, addr)
-			b.adapted[addr] = n
+			delete(s.degraded, addr)
+			s.adapted[addr] = n
 		}
-		b.mu.Unlock()
+		s.mu.Unlock()
 		res.Promoted = true
 		b.log("reconcile", nodeID, "", "node reachable again; promoted from degraded")
 	}
@@ -188,25 +198,20 @@ func (b *Base) reconcileNode(ctx context.Context, addr string) ReconcileResult {
 	}
 
 	now := b.cfg.Clock.Now()
+	var missing []Extension
 	for _, ext := range desired {
 		it, have := mine[ext.Name]
 		delete(mine, ext.Name)
 		switch {
 		case !have || it.Version < ext.Version:
-			// Missing (wiped, expired during the partition) or outdated.
-			if err := b.pushExtension(rctx, n, ext); err != nil {
-				if res.Err == "" {
-					res.Err = err.Error()
-				}
-				b.log("push", n.id, ext.Name, "failed: "+err.Error())
-				continue
-			}
-			res.Repushed = append(res.Repushed, ext.Name)
+			// Missing (wiped, expired during the partition) or outdated:
+			// collected for one batched re-push below.
+			missing = append(missing, ext)
 		case it.Version == ext.Version:
-			b.mu.Lock()
-			_, hasRenewer := n.renewers[ext.Name]
-			b.mu.Unlock()
-			if !hasRenewer {
+			s.mu.Lock()
+			_, hasGrant := n.grants[ext.Name]
+			s.mu.Unlock()
+			if !hasGrant {
 				// The node still holds a live lease (e.g. the base crashed or
 				// the node just came back): adopt the receiver's lease and
 				// deadline instead of re-pushing.
@@ -217,19 +222,19 @@ func (b *Base) reconcileNode(ctx context.Context, addr string) ReconcileResult {
 					dur:      b.cfg.LeaseDur,
 					deadline: deadline,
 				}
-				if b.startRenewer(n, ext.Name, g, deadline.Sub(now), trace.SpanContext{}) {
+				if b.trackGrant(n, ext.Name, g, deadline.Sub(now), trace.SpanContext{}) {
 					res.Adopted = append(res.Adopted, ext.Name)
 				}
 			} else if it.DeadlineMillis > 0 {
-				// Renewer already running: the receiver's deadline is the
-				// truth — adopt it into the checkpoint.
-				b.mu.Lock()
+				// A renewal is already scheduled: the receiver's deadline is
+				// the truth — adopt it into the checkpoint.
+				s.mu.Lock()
 				if g, ok := n.grants[ext.Name]; ok && g.deadline.UnixMilli() != it.DeadlineMillis {
 					g.deadline = time.UnixMilli(it.DeadlineMillis)
 					n.grants[ext.Name] = g
-					b.journalNodeLocked(n)
+					b.journalNode(n)
 				}
-				b.mu.Unlock()
+				s.mu.Unlock()
 			}
 			// A newer version at the node than in the policy set is left
 			// alone: reconciliation never downgrades.
@@ -244,11 +249,24 @@ func (b *Base) reconcileNode(ctx context.Context, addr string) ReconcileResult {
 	}
 	sort.Strings(orphans)
 	for _, name := range orphans {
-		b.stopRenewer(addr, name)
-		octx, ocancel := context.WithTimeout(rctx, b.cfg.CallTimeout)
-		_, err := transport.Invoke[RevokeReq, EmptyResp](octx, b.caller, addr, MethodRevoke, RevokeReq{Name: name})
-		ocancel()
-		if err != nil {
+		b.stopTracking(addr, name)
+	}
+
+	// The whole repair — missing re-pushes and orphan revokes — rides one
+	// batched apply when the peer supports it.
+	installErrs, revokeErrs := b.applyToNode(rctx, n, missing, orphans)
+	for _, ext := range missing {
+		if err := installErrs[ext.Name]; err != nil {
+			if res.Err == "" {
+				res.Err = err.Error()
+			}
+			b.log("push", n.id, ext.Name, "failed: "+err.Error())
+			continue
+		}
+		res.Repushed = append(res.Repushed, ext.Name)
+	}
+	for _, name := range orphans {
+		if err := revokeErrs[name]; err != nil {
 			if res.Err == "" {
 				res.Err = err.Error()
 			}
@@ -298,29 +316,38 @@ func (b *Base) Status() BaseStatusResp {
 	for _, e := range b.extensions {
 		resp.Extensions = append(resp.Extensions, fmt.Sprintf("%s@v%d", e.Name, e.Version))
 	}
-	for addr, n := range b.adapted {
-		exts := make([]string, 0, len(n.grants))
-		for name := range n.grants {
-			exts = append(exts, name)
-		}
-		sort.Strings(exts)
-		resp.Nodes = append(resp.Nodes, NodeStatus{
-			ID:            n.id,
-			Addr:          addr,
-			State:         "adapted",
-			Exts:          exts,
-			LastReconcile: b.lastReconcile[addr],
-		})
-	}
-	for addr, id := range b.degraded {
-		resp.Nodes = append(resp.Nodes, NodeStatus{
-			ID:            id,
-			Addr:          addr,
-			State:         "degraded",
-			LastReconcile: b.lastReconcile[addr],
-		})
+	last := make(map[string]ReconcileResult, len(b.lastReconcile))
+	for addr, r := range b.lastReconcile {
+		last[addr] = r
 	}
 	b.mu.Unlock()
+	for i := range b.nodes.shards {
+		sh := &b.nodes.shards[i]
+		sh.mu.Lock()
+		for addr, n := range sh.adapted {
+			exts := make([]string, 0, len(n.grants))
+			for name := range n.grants {
+				exts = append(exts, name)
+			}
+			sort.Strings(exts)
+			resp.Nodes = append(resp.Nodes, NodeStatus{
+				ID:            n.id,
+				Addr:          addr,
+				State:         "adapted",
+				Exts:          exts,
+				LastReconcile: last[addr],
+			})
+		}
+		for addr, id := range sh.degraded {
+			resp.Nodes = append(resp.Nodes, NodeStatus{
+				ID:            id,
+				Addr:          addr,
+				State:         "degraded",
+				LastReconcile: last[addr],
+			})
+		}
+		sh.mu.Unlock()
+	}
 	for i := range resp.Nodes {
 		resp.Nodes[i].Breaker = b.cfg.Breaker.State(resp.Nodes[i].Addr).String()
 	}

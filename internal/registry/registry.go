@@ -7,6 +7,7 @@ package registry
 import (
 	"context"
 	"errors"
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
@@ -95,17 +96,37 @@ type watcher struct {
 	leaseID   lease.ID
 }
 
+// lookupShards spreads the service-item index; watchers stay global (every
+// registration change consults all of them anyway).
+const lookupShards = 16
+
+// itemShard holds one slice of the service-item index. Lock order: a shard's
+// mu may be held while taking the Lookup's global mu, never the reverse; no
+// path holds two shard locks at once.
+type itemShard struct {
+	mu    sync.Mutex
+	items map[string]*entry // by service ID
+}
+
 // Lookup is the in-memory lookup service core. Remote access is provided by
-// Server/Client in this package.
+// Server/Client in this package. The item index is sharded by a hash of the
+// service ID, so registration and lookup traffic from a fleet of nodes does
+// not serialise on one lock.
 type Lookup struct {
 	grantor *lease.Grantor
+	shards  []itemShard
 
 	mu       sync.Mutex
-	items    map[string]*entry // by service ID
-	byLease  map[lease.ID]string
+	byLease  map[lease.ID]string // lease -> service ID, for expiry routing
 	watchers map[string]*watcher
 	nextW    int
 	m        lookupMetrics
+}
+
+func (l *Lookup) shard(serviceID string) *itemShard {
+	h := fnv.New32a()
+	h.Write([]byte(serviceID))
+	return &l.shards[h.Sum32()%uint32(len(l.shards))]
 }
 
 // lookupMetrics aggregates service-brokerage traffic; all fields are nil-safe
@@ -129,6 +150,7 @@ func (l *Lookup) Instrument(reg *metrics.Registry) {
 		return
 	}
 	l.grantor.Instrument(reg)
+	n := l.Len() // shard locks precede the global mu in the lock order
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.m = lookupMetrics{
@@ -140,18 +162,22 @@ func (l *Lookup) Instrument(reg *metrics.Registry) {
 		services:    reg.Gauge("registry.services"),
 		watchers:    reg.Gauge("registry.watchers"),
 	}
-	l.m.services.Set(int64(len(l.items)))
+	l.m.services.Set(int64(n))
 	l.m.watchers.Set(int64(len(l.watchers)))
 }
 
 // NewLookup returns an empty lookup service on clk.
 func NewLookup(clk clock.Clock) *Lookup {
-	return &Lookup{
+	l := &Lookup{
 		grantor:  lease.NewGrantor(clk),
-		items:    make(map[string]*entry),
+		shards:   make([]itemShard, lookupShards),
 		byLease:  make(map[lease.ID]string),
 		watchers: make(map[string]*watcher),
 	}
+	for i := range l.shards {
+		l.shards[i].items = make(map[string]*entry)
+	}
+	return l
 }
 
 // Grantor exposes the lease grantor (for sweeping or Start/Stop).
@@ -170,23 +196,32 @@ func (l *Lookup) RegisterCtx(ctx context.Context, item ServiceItem, dur time.Dur
 		return lease.Lease{}, errors.New("registry: item needs ID and Name")
 	}
 	sc, _ := trace.FromContext(ctx)
-	l.mu.Lock()
-	if old, ok := l.items[item.ID]; ok {
-		// Refresh: cancel the old lease silently.
-		delete(l.byLease, old.leaseID)
-		_ = l.grantor.Cancel(old.leaseID)
-		delete(l.items, item.ID)
+	s := l.shard(item.ID)
+	s.mu.Lock()
+	old, refreshed := s.items[item.ID]
+	if refreshed {
+		delete(s.items, item.ID)
 	}
-	l.mu.Unlock()
+	s.mu.Unlock()
+	if refreshed {
+		// Refresh: cancel the old lease silently.
+		l.mu.Lock()
+		delete(l.byLease, old.leaseID)
+		l.mu.Unlock()
+		_ = l.grantor.Cancel(old.leaseID)
+	}
 
 	gl := l.grantor.GrantCtx(ctx, dur, func(id lease.ID) { l.expireLease(id) })
 
+	s.mu.Lock()
+	s.items[item.ID] = &entry{item: item, leaseID: gl.ID}
+	s.mu.Unlock()
+	n := l.Len()
 	l.mu.Lock()
-	l.items[item.ID] = &entry{item: item, leaseID: gl.ID}
 	l.byLease[gl.ID] = item.ID
 	watchers := l.matchingWatchersLocked(item)
 	l.m.registers.Inc()
-	l.m.services.Set(int64(len(l.items)))
+	l.m.services.Set(int64(n))
 	events := l.m.events
 	l.mu.Unlock()
 
@@ -204,18 +239,23 @@ func (l *Lookup) Renew(id lease.ID, dur time.Duration) (lease.Lease, error) {
 
 // Deregister removes the service with the given service ID.
 func (l *Lookup) Deregister(serviceID string) error {
-	l.mu.Lock()
-	e, ok := l.items[serviceID]
+	s := l.shard(serviceID)
+	s.mu.Lock()
+	e, ok := s.items[serviceID]
+	if ok {
+		delete(s.items, serviceID)
+	}
+	s.mu.Unlock()
 	if !ok {
-		l.mu.Unlock()
 		return ErrUnknownService
 	}
-	delete(l.items, serviceID)
-	delete(l.byLease, e.leaseID)
 	_ = l.grantor.Cancel(e.leaseID)
+	n := l.Len()
+	l.mu.Lock()
+	delete(l.byLease, e.leaseID)
 	watchers := l.matchingWatchersLocked(e.item)
 	l.m.deregisters.Inc()
-	l.m.services.Set(int64(len(l.items)))
+	l.m.services.Set(int64(n))
 	events := l.m.events
 	l.mu.Unlock()
 
@@ -228,17 +268,28 @@ func (l *Lookup) Deregister(serviceID string) error {
 
 // Find returns all items matching the template, ordered by service ID.
 func (l *Lookup) Find(tmpl Template) []ServiceItem {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.m.lookups.Inc()
+	l.metricsRef().lookups.Inc()
 	var out []ServiceItem
-	for _, e := range l.items {
-		if tmpl.Matches(e.item) {
-			out = append(out, e.item)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for _, e := range s.items {
+			if tmpl.Matches(e.item) {
+				out = append(out, e.item)
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// metricsRef snapshots the metric handles; every field stays a nil-safe no-op
+// until Instrument.
+func (l *Lookup) metricsRef() lookupMetrics {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m
 }
 
 // Watch registers notify to run for every future registration change
@@ -296,9 +347,14 @@ func (l *Lookup) Unwatch(id string) {
 
 // Len returns the number of live registrations.
 func (l *Lookup) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.items)
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // ExpireNow sweeps lapsed leases (registrations and watchers).
@@ -307,15 +363,29 @@ func (l *Lookup) ExpireNow() int { return l.grantor.ExpireNow() }
 func (l *Lookup) expireLease(id lease.ID) {
 	l.mu.Lock()
 	serviceID, ok := l.byLease[id]
+	if ok {
+		delete(l.byLease, id)
+	}
+	l.mu.Unlock()
 	if !ok {
-		l.mu.Unlock()
 		return
 	}
-	e := l.items[serviceID]
-	delete(l.items, serviceID)
-	delete(l.byLease, id)
+	s := l.shard(serviceID)
+	s.mu.Lock()
+	e := s.items[serviceID]
+	if e == nil || e.leaseID != id {
+		// Re-registered while the expiry was in flight: the fresh entry owns
+		// a different lease and stays.
+		s.mu.Unlock()
+		return
+	}
+	delete(s.items, serviceID)
+	s.mu.Unlock()
+
+	n := l.Len()
+	l.mu.Lock()
 	watchers := l.matchingWatchersLocked(e.item)
-	l.m.services.Set(int64(len(l.items)))
+	l.m.services.Set(int64(n))
 	events := l.m.events
 	l.mu.Unlock()
 

@@ -1,0 +1,77 @@
+// Package testutil holds the small helpers every scenario and integration
+// test re-implemented locally: condition polling with a deadline, counter
+// waits against a metrics registry, and seed selection for deterministic
+// simulations. Tests across packages share one vocabulary (and one failure
+// format) instead of drifting copies.
+package testutil
+
+import (
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TB is the subset of testing.TB the helpers need; it keeps testutil free of
+// a direct dependency on how callers construct their tests.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Logf(format string, args ...any)
+}
+
+// WaitFor polls cond every 2ms until it holds, failing the test after 5s.
+// Scenario tests drive simulated time themselves and use WaitFor only to let
+// real goroutines (renew workers, sweepers, RPC handlers) catch up.
+func WaitFor(t TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second) //lint:allow clockcheck (test helper bounds real goroutine settling)
+	for !cond() {
+		if time.Now().After(deadline) { //lint:allow clockcheck (test helper bounds real goroutine settling)
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond) //lint:allow clockcheck (real pause lets goroutines run between polls)
+	}
+}
+
+// WaitForCounter polls reg until the named counter reaches at least want.
+func WaitForCounter(t TB, reg *metrics.Registry, name string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second) //lint:allow clockcheck (test helper bounds real goroutine settling)
+	for time.Now().Before(deadline) {           //lint:allow clockcheck (test helper bounds real goroutine settling)
+		if reg.Snapshot().Counters[name] >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond) //lint:allow clockcheck (real pause lets goroutines run between polls)
+	}
+	t.Fatalf("counter %s = %d, want >= %d (timeout)",
+		name, reg.Snapshot().Counters[name], want)
+}
+
+// Counter reads one counter from a registry snapshot (0 when absent).
+func Counter(reg *metrics.Registry, name string) uint64 {
+	return reg.Snapshot().Counters[name]
+}
+
+// Gauge reads one gauge from a registry snapshot (0 when absent).
+func Gauge(reg *metrics.Registry, name string) int64 {
+	return reg.Snapshot().Gauges[name]
+}
+
+// SeedFromEnv returns the simulation seed: the named environment variable
+// when set (logged for the record), fallback otherwise. Pass a pinned
+// fallback for replayable tests, or time.Now().UnixNano() for fuzzing runs.
+func SeedFromEnv(t TB, env string, fallback int64) int64 {
+	t.Helper()
+	if v := os.Getenv(env); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("%s=%q: %v", env, v, err)
+		}
+		t.Logf("using %s=%d", env, seed)
+		return seed
+	}
+	t.Logf("set %s=%d to reproduce this run", env, fallback)
+	return fallback
+}

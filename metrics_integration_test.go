@@ -12,21 +12,14 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sign"
 	"repro/internal/store"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 )
 
 // waitForCounter polls reg until the named counter reaches at least want.
 func waitForCounter(t *testing.T, reg *metrics.Registry, name string, want uint64) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if reg.Snapshot().Counters[name] >= want {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("counter %s = %d, want >= %d (timeout)",
-		name, reg.Snapshot().Counters[name], want)
+	testutil.WaitForCounter(t, reg, name, want)
 }
 
 func TestMetricsLeaseLifecycle(t *testing.T) {

@@ -7,9 +7,7 @@
 package repro
 
 import (
-	"os"
 	"reflect"
-	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -23,6 +21,7 @@ import (
 	"repro/internal/sandbox"
 	"repro/internal/sign"
 	"repro/internal/simnet"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 	"repro/internal/weave"
 )
@@ -31,17 +30,7 @@ import (
 // (logged for replay) otherwise.
 func scenarioSeed(t *testing.T) int64 {
 	t.Helper()
-	if env := os.Getenv("SIMNET_SEED"); env != "" {
-		seed, err := strconv.ParseInt(env, 10, 64)
-		if err != nil {
-			t.Fatalf("SIMNET_SEED=%q: %v", env, err)
-		}
-		t.Logf("using SIMNET_SEED=%d", seed)
-		return seed
-	}
-	seed := time.Now().UnixNano()
-	t.Logf("set SIMNET_SEED=%d to reproduce this run", seed)
-	return seed
+	return testutil.SeedFromEnv(t, "SIMNET_SEED", time.Now().UnixNano())
 }
 
 // simWorld bundles the manual clock and the simulated network a scenario
@@ -73,13 +62,7 @@ func (w *simWorld) advance(total, step time.Duration) {
 
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timeout waiting for %s", what)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	testutil.WaitFor(t, what, cond)
 }
 
 // scenarioNode is one mobile node: a receiver with its own metrics registry
@@ -92,7 +75,7 @@ type scenarioNode struct {
 }
 
 func (n *scenarioNode) counter(name string) uint64 {
-	return n.reg.Snapshot().Counters[name]
+	return testutil.Counter(n.reg, name)
 }
 
 func (w *simWorld) newNode(name string, trusted *sign.Signer) *scenarioNode {
@@ -151,7 +134,7 @@ type scenarioBase struct {
 }
 
 func (b *scenarioBase) counter(name string) uint64 {
-	return b.reg.Snapshot().Counters[name]
+	return testutil.Counter(b.reg, name)
 }
 
 // newBase wires a base at name. A nil signer mints a fresh identity; pass an
