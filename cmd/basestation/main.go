@@ -74,6 +74,7 @@ func run() error {
 		renewBat  = flag.Int("renew-batch", 64, "max leases coalesced into one batched renewal RPC per node")
 		renewTick = flag.Duration("renew-tick", 0, "renewal timer-wheel granularity (0 = lease*fraction/4)")
 		renewWrk  = flag.Int("renew-workers", 8, "concurrent renewal RPC workers")
+		wireOn    = flag.Bool("wire", true, "negotiate the binary wire codec with peers (false = gob only, for mixed fleets)")
 		exts      extFlags
 	)
 	flag.Var(&exts, "ext", "extension preset, repeatable: hwmonitor | logger | accesscontrol:allow=a,b")
@@ -105,6 +106,10 @@ func run() error {
 	mux := transport.NewMux()
 	caller := transport.NewTCPCaller()
 	defer caller.Close()
+	if !*wireOn {
+		caller.DisableWire()
+		mux.SetGobOnly(true)
+	}
 
 	lookup := registry.NewLookup(clock.Real{})
 	lookup.Grantor().Start(time.Second)
@@ -193,7 +198,11 @@ func run() error {
 		}
 	}
 
-	srv, err := transport.ServeTCP(*addr, transport.TraceHandling(mux, tracer, *name))
+	serveTCP := transport.ServeTCP
+	if !*wireOn {
+		serveTCP = transport.ServeTCPLegacy
+	}
+	srv, err := serveTCP(*addr, transport.TraceHandling(mux, tracer, *name))
 	if err != nil {
 		return err
 	}

@@ -65,6 +65,7 @@ func run() error {
 		faults   = flag.String("faults", "", "inject outbound faults, e.g. loss=0.1,dup=0.05,latmax=50ms (empty disables)")
 		seed     = flag.Int64("seed", 1, "fault-injection RNG seed (used with -faults)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
+		wireOn   = flag.Bool("wire", true, "negotiate the binary wire codec with peers (false = gob only, for mixed fleets)")
 	)
 	flag.Parse()
 
@@ -108,6 +109,9 @@ func run() error {
 
 	tcp := transport.NewTCPCaller()
 	defer tcp.Close()
+	if !*wireOn {
+		tcp.DisableWire()
+	}
 	var caller transport.Caller = tcp
 	var chaos *simnet.Chaos
 	if *faults != "" {
@@ -131,7 +135,12 @@ func run() error {
 
 	mux := transport.NewMux()
 	services.ServeOn(mux)
-	srv, err := transport.ServeTCP(*addr, transport.TraceHandling(mux, tracer, *name))
+	serveTCP := transport.ServeTCP
+	if !*wireOn {
+		mux.SetGobOnly(true)
+		serveTCP = transport.ServeTCPLegacy
+	}
+	srv, err := serveTCP(*addr, transport.TraceHandling(mux, tracer, *name))
 	if err != nil {
 		return err
 	}

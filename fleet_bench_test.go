@@ -119,6 +119,7 @@ func BenchmarkFleetAdapt(b *testing.B) {
 	for _, n := range fleetBenchSizes(b) {
 		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
 			f := newBenchFleet(b, n)
+			runtime.GC() // earlier sub-benchmarks' garbage is not this bench's cost
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f.adaptAll(b)
@@ -146,6 +147,7 @@ func BenchmarkFleetReconcile(b *testing.B) {
 			f := newBenchFleet(b, n)
 			f.adaptAll(b)
 			ctx := context.Background()
+			runtime.GC() // earlier sub-benchmarks' garbage is not this bench's cost
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f.base.ReconcileNow(ctx)
@@ -172,6 +174,7 @@ func BenchmarkRenewScheduler(b *testing.B) {
 			f.adaptAll(b)
 			leases := f.base.ScheduledRenewals()
 			window := 30 * time.Second // LeaseDur * RenewFraction
+			runtime.GC()               // earlier sub-benchmarks' garbage is not this bench's cost
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f.clk.Advance(window)

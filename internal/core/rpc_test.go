@@ -40,7 +40,7 @@ func TestReceiverRPCSurface(t *testing.T) {
 		t.Fatal("no lease over RPC")
 	}
 
-	if _, err := transport.Invoke[RenewExtReq, EmptyResp](ctx, caller, srv.Addr(), MethodRenewE, RenewExtReq{
+	if _, err := transport.Invoke[RenewExtReq, RenewExtResp](ctx, caller, srv.Addr(), MethodRenewE, RenewExtReq{
 		LeaseID:   installResp.LeaseID,
 		DurMillis: 60_000,
 	}); err != nil {
@@ -63,7 +63,7 @@ func TestReceiverRPCSurface(t *testing.T) {
 	}
 
 	// Renewing the cancelled lease now fails remotely.
-	_, err = transport.Invoke[RenewExtReq, EmptyResp](ctx, caller, srv.Addr(), MethodRenewE, RenewExtReq{
+	_, err = transport.Invoke[RenewExtReq, RenewExtResp](ctx, caller, srv.Addr(), MethodRenewE, RenewExtReq{
 		LeaseID:   installResp.LeaseID,
 		DurMillis: 60_000,
 	})

@@ -1,0 +1,21 @@
+package sign
+
+import "repro/internal/wire"
+
+// Wire codec for Signature: it rides inside every SignedExtension push, so
+// install/applyBatch traffic encodes it without reflection.
+
+// MarshalWire encodes s with the wire codec.
+func (s Signature) MarshalWire(e *wire.Encoder) {
+	e.String(s.SignerName)
+	e.Bytes(s.PublicKey)
+	e.Bytes(s.Sig)
+}
+
+// UnmarshalWire decodes s from the wire codec.
+func (s *Signature) UnmarshalWire(d *wire.Decoder) error {
+	s.SignerName = d.String()
+	s.PublicKey = d.Bytes()
+	s.Sig = d.Bytes()
+	return d.Err()
+}

@@ -1,0 +1,20 @@
+package trace
+
+import "repro/internal/wire"
+
+// Wire codec for SpanContext: it rides in every TCP request envelope, so
+// trace propagation costs two length-prefixed strings instead of a gob
+// descriptor.
+
+// MarshalWire encodes sc with the wire codec.
+func (sc SpanContext) MarshalWire(e *wire.Encoder) {
+	e.String(sc.TraceID)
+	e.String(sc.SpanID)
+}
+
+// UnmarshalWire decodes sc from the wire codec.
+func (sc *SpanContext) UnmarshalWire(d *wire.Decoder) error {
+	sc.TraceID = d.String()
+	sc.SpanID = d.String()
+	return d.Err()
+}

@@ -1,9 +1,13 @@
 package transport
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -11,12 +15,35 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
-// wire envelope types. Trace carries the caller's span context so a trace
-// stitches across processes; gob tolerates the field being absent (older
-// peers) or unknown (newer peers), so the envelope stays wire-compatible in
-// both directions.
+// The TCP fabric speaks two envelope protocols on one port and negotiates
+// per connection:
+//
+//   - wire: the client opens with the 3-byte wire frame header as a preface;
+//     the server answers with a 2-byte ack [Magic, Version] and both sides
+//     switch to hand-rolled envelopes — uvarint payload length, then
+//     method · trace · body as wire fields, the body copied in verbatim
+//     (whatever codec EncodeBody picked), so nothing is encoded twice.
+//   - gob: anything else is the legacy protocol — gob tcpRequest/tcpResponse
+//     envelopes around an already-encoded body (the historical double-gob).
+//
+// An old server's gob decoder rejects the preface (a gob message length can
+// never be 0x00) and closes the connection; the client reads EOF, remembers
+// the destination as legacy — exactly like the ErrNoMethod legacy-batch
+// fallback — and redials in gob. Old clients never send the preface, and the
+// server routes them to the gob loop off the first byte, so mixed fleets
+// interoperate in both directions.
+
+// maxEnvelope caps one wire envelope (64 MiB): a corrupt or hostile length
+// prefix must not allocate unbounded memory.
+const maxEnvelope = 1 << 26
+
+// gob envelope types of the legacy protocol. Trace carries the caller's span
+// context so a trace stitches across processes; gob tolerates the field
+// being absent (older peers) or unknown (newer peers), so the envelope stays
+// wire-compatible in both directions.
 type tcpRequest struct {
 	Method string
 	Body   []byte
@@ -28,11 +55,11 @@ type tcpResponse struct {
 	Err  string
 }
 
-// TCPServer serves a Handler over real TCP connections, one request per
-// connection.
+// TCPServer serves a Handler over real TCP connections.
 type TCPServer struct {
 	ln      net.Listener
 	handler Handler
+	gobOnly bool
 
 	mu     sync.Mutex
 	closed bool
@@ -48,13 +75,15 @@ type serverMetrics struct {
 	errors    *metrics.Counter
 	bytesIn   *metrics.Counter
 	bytesOut  *metrics.Counter
+	wireConns *metrics.Counter
+	gobConns  *metrics.Counter
 	handleNs  *metrics.Histogram
 	openConns *metrics.Gauge
 }
 
 // Instrument records served requests (count, errors, payload bytes, handler
-// latency) and the open-connection gauge in reg. Safe to call while serving;
-// a nil reg is a no-op.
+// latency), the per-protocol connection counters and the open-connection
+// gauge in reg. Safe to call while serving; a nil reg is a no-op.
 func (s *TCPServer) Instrument(reg *metrics.Registry) {
 	if reg == nil {
 		return
@@ -64,6 +93,8 @@ func (s *TCPServer) Instrument(reg *metrics.Registry) {
 		errors:    reg.Counter("transport.serve_errors"),
 		bytesIn:   reg.Counter("transport.serve_bytes_received"),
 		bytesOut:  reg.Counter("transport.serve_bytes_sent"),
+		wireConns: reg.Counter("transport.serve_wire_conns"),
+		gobConns:  reg.Counter("transport.serve_gob_conns"),
 		handleNs:  reg.Histogram("transport.serve_ns", nil),
 		openConns: reg.Gauge("transport.serve_open_conns"),
 	})
@@ -71,11 +102,23 @@ func (s *TCPServer) Instrument(reg *metrics.Registry) {
 
 // ServeTCP starts a server on addr ("127.0.0.1:0" picks a free port).
 func ServeTCP(addr string, h Handler) (*TCPServer, error) {
+	return serveTCP(addr, h, false)
+}
+
+// ServeTCPLegacy starts a server that behaves like a binary predating the
+// wire codec: the negotiation preface is answered by closing the connection
+// (as an old gob decoder would) and only the gob envelope is spoken.
+// Interop tests pair it with Mux.SetGobOnly to model a fully legacy peer.
+func ServeTCPLegacy(addr string, h Handler) (*TCPServer, error) {
+	return serveTCP(addr, h, true)
+}
+
+func serveTCP(addr string, h Handler, gobOnly bool) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s := &TCPServer{ln: ln, handler: h, gobOnly: gobOnly, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -136,31 +179,53 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		}
 	}()
 
-	dec := gob.NewDecoder(conn)
+	// The first byte routes the connection: 0x00 can only be the wire
+	// preface (a gob message length is never zero), anything else is a gob
+	// client mid-first-message.
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == 0x00 {
+		if s.gobOnly {
+			return // what an old binary's gob decoder does: error out, hang up
+		}
+		var preface [3]byte
+		if _, err := io.ReadFull(br, preface[:]); err != nil {
+			return
+		}
+		if !wire.IsFrame(preface[:]) || preface[2] != wire.Version {
+			return
+		}
+		if _, err := conn.Write([]byte{wire.Magic, wire.Version}); err != nil {
+			return
+		}
+		if sm := s.m.Load(); sm != nil {
+			sm.wireConns.Inc()
+		}
+		s.serveWire(conn, br)
+		return
+	}
+	if sm := s.m.Load(); sm != nil {
+		sm.gobConns.Inc()
+	}
+	s.serveGob(conn, br)
+}
+
+// serveGob runs the legacy gob envelope loop.
+func (s *TCPServer) serveGob(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	for {
 		var req tcpRequest
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		sm := s.m.Load()
-		start := time.Time{}
-		if sm != nil {
-			sm.requests.Inc()
-			sm.bytesIn.Add(uint64(len(req.Body)))
-			start = time.Now() //lint:allow clockcheck (real RPC latency metric)
-		}
-		body, err := s.handler.Handle(trace.NewContext(context.Background(), req.Trace), req.Method, req.Body)
+		body, err := s.handle(req.Trace, req.Method, req.Body)
 		resp := tcpResponse{Body: body}
 		if err != nil {
 			resp.Err = err.Error()
-		}
-		if sm != nil {
-			sm.handleNs.Since(start)
-			if err != nil {
-				sm.errors.Inc()
-			}
-			sm.bytesOut.Add(uint64(len(body)))
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
@@ -168,20 +233,90 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
+// serveWire runs the wire envelope loop: length-prefixed envelopes in both
+// directions, the response written through a pooled encoder straight onto
+// the socket's buffered writer — no intermediate envelope allocation.
+func (s *TCPServer) serveWire(conn net.Conn, br *bufio.Reader) {
+	bw := bufio.NewWriter(conn)
+	var lenBuf [binary.MaxVarintLen64]byte
+	for {
+		plen, err := binary.ReadUvarint(br)
+		if err != nil || plen > maxEnvelope {
+			return
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		// Envelope layout: method · trace · body. Trailing bytes are
+		// tolerated so a future envelope may append fields.
+		d := wire.NewDecoder(payload)
+		method := d.String()
+		var sc trace.SpanContext
+		_ = sc.UnmarshalWire(d)
+		body := d.Bytes()
+		if d.Err() != nil {
+			return
+		}
+		rbody, herr := s.handle(sc, method, body)
+		e := wire.GetEncoder()
+		if herr != nil {
+			e.String(herr.Error())
+		} else {
+			e.String("")
+		}
+		e.Bytes(rbody)
+		n := binary.PutUvarint(lenBuf[:], uint64(len(e.Data())))
+		_, werr := bw.Write(lenBuf[:n])
+		if werr == nil {
+			_, werr = bw.Write(e.Data())
+		}
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		wire.PutEncoder(e)
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request to the handler with metrics accounting.
+func (s *TCPServer) handle(sc trace.SpanContext, method string, body []byte) ([]byte, error) {
+	sm := s.m.Load()
+	start := time.Time{}
+	if sm != nil {
+		sm.requests.Inc()
+		sm.bytesIn.Add(uint64(len(body)))
+		start = time.Now() //lint:allow clockcheck (real RPC latency metric)
+	}
+	out, err := s.handler.Handle(trace.NewContext(context.Background(), sc), method, body)
+	if sm != nil {
+		sm.handleNs.Since(start)
+		if err != nil {
+			sm.errors.Inc()
+		}
+		sm.bytesOut.Add(uint64(len(out)))
+	}
+	return out, err
+}
+
 // TCPCaller issues calls over TCP, keeping one pooled connection per
-// destination.
+// destination and remembering which destinations fell back to gob.
 type TCPCaller struct {
 	DialTimeout time.Duration
 
-	mu    sync.Mutex
-	conns map[string]*tcpClientConn
+	mu     sync.Mutex
+	conns  map[string]*tcpClientConn
+	noWire bool
+	legacy map[string]bool // peers that rejected the preface or a wire body
 
 	m atomic.Pointer[fabricMetrics]
 }
 
 // Instrument records every outbound call (count, errors, timeouts, payload
-// bytes, latency) in reg, sharing metric names with the in-proc fabric. Safe
-// to call while calls are in flight; a nil reg is a no-op.
+// bytes, codec mix, latency) in reg, sharing metric names with the in-proc
+// fabric. Safe to call while calls are in flight; a nil reg is a no-op.
 func (c *TCPCaller) Instrument(reg *metrics.Registry) {
 	if reg == nil {
 		return
@@ -192,13 +327,47 @@ func (c *TCPCaller) Instrument(reg *metrics.Registry) {
 type tcpClientConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	wire bool
+	// wire protocol state
+	br *bufio.Reader
+	bw *bufio.Writer
+	// gob protocol state
+	enc *gob.Encoder
+	dec *gob.Decoder
 }
 
 // NewTCPCaller returns a caller with a 2s dial timeout.
 func NewTCPCaller() *TCPCaller {
-	return &TCPCaller{DialTimeout: 2 * time.Second, conns: make(map[string]*tcpClientConn)}
+	return &TCPCaller{
+		DialTimeout: 2 * time.Second,
+		conns:       make(map[string]*tcpClientConn),
+		legacy:      make(map[string]bool),
+	}
+}
+
+// DisableWire forces every connection and body onto gob, behaving like a
+// client predating the wire codec (-wire=false on the cmds).
+func (c *TCPCaller) DisableWire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noWire = true
+}
+
+// peerWire reports whether bodies to addr should use the wire codec.
+func (c *TCPCaller) peerWire(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.noWire && !c.legacy[addr]
+}
+
+// markLegacy remembers that addr cannot decode wire bodies.
+func (c *TCPCaller) markLegacy(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.legacy == nil { // zero-value TCPCaller
+		c.legacy = make(map[string]bool)
+	}
+	c.legacy[addr] = true
 }
 
 // Call implements Caller. to is a host:port address.
@@ -208,17 +377,40 @@ func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) 
 		start := time.Now() //lint:allow clockcheck (real RPC latency metric)
 		defer func() { fm.finishCall(start, err) }()
 	}
-	body, err := Encode(req)
-	if err != nil {
-		return err
+	err, usedWire := c.callOnce(ctx, to, method, req, resp)
+	if err != nil && usedWire {
+		var re *RemoteError
+		if errors.As(err, &re) && errors.Is(err, ErrDecode) {
+			// The connection negotiated wire envelopes but the remote could
+			// not decode this wire body (a peer of an intermediate version):
+			// remember it and re-issue the call in gob. The request never
+			// reached its handler, so the retry cannot double-apply.
+			c.markLegacy(to)
+			if fm := c.m.Load(); fm != nil {
+				fm.fallbacks.Inc()
+			}
+			err, _ = c.callOnce(ctx, to, method, req, resp)
+		}
 	}
+	return err
+}
+
+// callOnce performs one round trip, reporting whether the body went out as a
+// wire frame.
+func (c *TCPCaller) callOnce(ctx context.Context, to, method string, req, resp any) (error, bool) {
 	cc, err := c.conn(ctx, to)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return fmt.Errorf("transport: dial %s: %w", to, ctxErr)
+			return fmt.Errorf("transport: dial %s: %w", to, ctxErr), false
 		}
-		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+		return fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err), false
 	}
+	fm := c.m.Load()
+	body, usedWire, err := EncodeBody(req, cc.wire && c.peerWire(to))
+	if err != nil {
+		return err, false
+	}
+	fm.countBody(usedWire)
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if deadline, ok := ctx.Deadline(); ok {
@@ -236,30 +428,13 @@ func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) 
 		case <-watchDone:
 		}
 	}()
-	fm := c.m.Load()
 	sc, _ := trace.FromContext(ctx)
-	callErr := func() error {
-		if err := cc.enc.Encode(&tcpRequest{Method: method, Body: body, Trace: sc}); err != nil {
-			return err
-		}
-		if fm != nil {
-			fm.bytesOut.Add(uint64(len(body)))
-		}
-		var out tcpResponse
-		if err := cc.dec.Decode(&out); err != nil {
-			return err
-		}
-		if fm != nil {
-			fm.bytesIn.Add(uint64(len(out.Body)))
-		}
-		if out.Err != "" {
-			return NewRemoteError(method, out.Err)
-		}
-		if resp == nil {
-			return nil
-		}
-		return Decode(out.Body, resp)
-	}()
+	var callErr error
+	if cc.wire {
+		callErr = c.roundTripWire(cc, fm, method, sc, body, resp)
+	} else {
+		callErr = c.roundTripGob(cc, fm, method, sc, body, resp)
+	}
 	close(watchDone)
 	if callErr != nil {
 		ctxErr := ctx.Err()
@@ -280,7 +455,84 @@ func (c *TCPCaller) Call(ctx context.Context, to, method string, req, resp any) 
 			c.drop(to, cc)
 		}
 	}
-	return callErr
+	return callErr, usedWire
+}
+
+// roundTripWire writes one wire envelope and reads its response. The
+// request's already-encoded body is copied into the envelope verbatim — the
+// fix for the historical gob-inside-gob double encode.
+func (c *TCPCaller) roundTripWire(cc *tcpClientConn, fm *fabricMetrics, method string, sc trace.SpanContext, body []byte, resp any) error {
+	e := wire.GetEncoder()
+	e.String(method)
+	sc.MarshalWire(e)
+	e.Bytes(body)
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(e.Data())))
+	_, err := cc.bw.Write(lenBuf[:n])
+	if err == nil {
+		_, err = cc.bw.Write(e.Data())
+	}
+	if err == nil {
+		err = cc.bw.Flush()
+	}
+	wire.PutEncoder(e)
+	if err != nil {
+		return err
+	}
+	if fm != nil {
+		fm.bytesOut.Add(uint64(len(body)))
+	}
+	plen, err := binary.ReadUvarint(cc.br)
+	if err != nil {
+		return err
+	}
+	if plen > maxEnvelope {
+		return fmt.Errorf("transport: response envelope of %d bytes exceeds cap", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(cc.br, payload); err != nil {
+		return err
+	}
+	d := wire.NewDecoder(payload)
+	errText := d.String()
+	rbody := d.Bytes()
+	if derr := d.Err(); derr != nil {
+		return fmt.Errorf("%w %v", ErrDecode, derr)
+	}
+	if fm != nil {
+		fm.bytesIn.Add(uint64(len(rbody)))
+	}
+	if errText != "" {
+		return NewRemoteError(method, errText)
+	}
+	if resp == nil {
+		return nil
+	}
+	return Decode(rbody, resp)
+}
+
+// roundTripGob writes one legacy gob envelope and reads its response.
+func (c *TCPCaller) roundTripGob(cc *tcpClientConn, fm *fabricMetrics, method string, sc trace.SpanContext, body []byte, resp any) error {
+	if err := cc.enc.Encode(&tcpRequest{Method: method, Body: body, Trace: sc}); err != nil {
+		return err
+	}
+	if fm != nil {
+		fm.bytesOut.Add(uint64(len(body)))
+	}
+	var out tcpResponse
+	if err := cc.dec.Decode(&out); err != nil {
+		return err
+	}
+	if fm != nil {
+		fm.bytesIn.Add(uint64(len(out.Body)))
+	}
+	if out.Err != "" {
+		return NewRemoteError(method, out.Err)
+	}
+	if resp == nil {
+		return nil
+	}
+	return Decode(out.Body, resp)
 }
 
 // Close closes all pooled connections.
@@ -307,9 +559,57 @@ func (c *TCPCaller) conn(ctx context.Context, to string) (*tcpClientConn, error)
 	if err != nil {
 		return nil, err
 	}
+	if !c.noWire && !c.legacy[to] {
+		if cc, ok := c.handshake(ctx, conn); ok {
+			c.conns[to] = cc
+			return cc, nil
+		}
+		// The preface was rejected, timed out or mis-acked: the server
+		// predates the wire codec (or is unreadably slow — treating it as
+		// legacy stays correct either way). Remember and redial in gob; the
+		// handshake connection is closed because the preface bytes already
+		// sent would corrupt a gob stream.
+		if c.legacy == nil { // zero-value TCPCaller
+			c.legacy = make(map[string]bool)
+		}
+		c.legacy[to] = true
+		if fm := c.m.Load(); fm != nil {
+			fm.fallbacks.Inc()
+		}
+		conn, err = d.DialContext(ctx, "tcp", to)
+		if err != nil {
+			return nil, err
+		}
+	}
 	cc := &tcpClientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 	c.conns[to] = cc
 	return cc, nil
+}
+
+// handshake sends the wire preface and waits briefly for the ack. On any
+// failure the connection is closed and (nil, false) returned.
+func (c *TCPCaller) handshake(ctx context.Context, conn net.Conn) (*tcpClientConn, bool) {
+	ackTimeout := c.DialTimeout
+	if ackTimeout <= 0 {
+		ackTimeout = 2 * time.Second
+	}
+	deadline := time.Now().Add(ackTimeout) //lint:allow clockcheck (real I/O deadline on the socket)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write(wire.Header()); err != nil {
+		conn.Close()
+		return nil, false
+	}
+	br := bufio.NewReader(conn)
+	var ack [2]byte
+	if _, err := io.ReadFull(br, ack[:]); err != nil || ack[0] != wire.Magic || ack[1] != wire.Version {
+		conn.Close()
+		return nil, false
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return &tcpClientConn{conn: conn, wire: true, br: br, bw: bufio.NewWriter(conn)}, true
 }
 
 func (c *TCPCaller) drop(to string, cc *tcpClientConn) {

@@ -1,9 +1,11 @@
 // Package transport provides the RPC layer the platform's distributed pieces
 // (lookup service, extension bases, adaptation services) communicate over.
-// Payloads are gob-encoded; two interchangeable fabrics are provided: an
-// in-process fabric whose connectivity is steered by the mobility simulator
-// (standing in for the wireless network of the paper's testbed) and a real
-// TCP fabric.
+// Hot message types ride the zero-reflection wire codec (internal/wire);
+// everything else is gob-encoded, and the two are distinguished on the
+// receiving side by the wire frame header, so mixed fleets interoperate. Two
+// interchangeable fabrics are provided: an in-process fabric whose
+// connectivity is steered by the mobility simulator (standing in for the
+// wireless network of the paper's testbed) and a real TCP fabric.
 package transport
 
 import (
@@ -14,6 +16,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"repro/internal/wire"
 )
 
 // Handler serves RPC requests addressed to one node.
@@ -33,6 +37,12 @@ var (
 	ErrUnreachable = errors.New("transport: destination unreachable")
 	// ErrNoMethod indicates the destination does not serve the method.
 	ErrNoMethod = errors.New("transport: no such method")
+	// ErrDecode indicates a request or response body failed to decode. Its
+	// text is the prefix every decode failure has always carried, so a
+	// RemoteError from an old, gob-only peer that choked on a wire frame
+	// unwraps to it via the sentinel machinery — that match is what triggers
+	// the caller's remembered per-peer gob fallback.
+	ErrDecode = errors.New("transport: decode:")
 )
 
 // RemoteError wraps an error string returned by the remote handler. When the
@@ -64,7 +74,7 @@ func NewRemoteError(method, msg string) *RemoteError {
 
 var (
 	sentinelMu sync.RWMutex
-	sentinels  = []error{ErrNoMethod}
+	sentinels  = []error{ErrNoMethod, ErrDecode}
 )
 
 // RegisterRemoteSentinel adds sentinel errors that should survive a trip over
@@ -117,10 +127,43 @@ func Encode(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode gob-decodes data into v (a pointer).
+// EncodeBody encodes v for a fabric: with the wire codec when useWire is set
+// and v implements it, gob otherwise. The second result reports whether the
+// body is a wire frame, which the fabrics record (metrics) and mirror in
+// their responses.
+func EncodeBody(v any, useWire bool) ([]byte, bool, error) {
+	if useWire {
+		if m, ok := v.(wire.Marshaler); ok {
+			return wire.Marshal(m), true, nil
+		}
+	}
+	data, err := Encode(v)
+	return data, false, err
+}
+
+// Decode decodes a fabric body into v (a pointer), dispatching on the body's
+// first bytes: wire frames go through the value's wire codec, everything
+// else through gob. Failures wrap ErrDecode.
 func Decode(data []byte, v any) error {
+	if wire.IsFrame(data) {
+		u, ok := v.(wire.Unmarshaler)
+		if !ok {
+			return fmt.Errorf("%w wire frame for %T, which has no wire codec", ErrDecode, v)
+		}
+		if err := wire.Unmarshal(data, u); err != nil {
+			return fmt.Errorf("%w %v", ErrDecode, err)
+		}
+		return nil
+	}
+	return DecodeGob(data, v)
+}
+
+// DecodeGob gob-decodes data into v (a pointer) with no frame dispatch — the
+// behavior of peers that predate the wire codec. Mux.SetGobOnly routes
+// request decoding through it to model such a peer in tests.
+func DecodeGob(data []byte, v any) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("transport: decode: %w", err)
+		return fmt.Errorf("%w %v", ErrDecode, err)
 	}
 	return nil
 }
@@ -130,11 +173,29 @@ func Decode(data []byte, v any) error {
 type Mux struct {
 	mu       sync.RWMutex
 	handlers map[string]func(ctx context.Context, body []byte) ([]byte, error)
+	gobOnly  bool
 }
 
 // NewMux returns an empty Mux.
 func NewMux() *Mux {
 	return &Mux{handlers: make(map[string]func(ctx context.Context, body []byte) ([]byte, error))}
+}
+
+// SetGobOnly makes typed handlers on this mux behave like a peer that
+// predates the wire codec: request bodies are always gob-decoded (so wire
+// frames fail with the decode error old binaries produce) and responses are
+// always gob-encoded. Mixed-fleet tests use it to stand up legacy receivers.
+func (m *Mux) SetGobOnly(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gobOnly = on
+}
+
+// GobOnly reports whether SetGobOnly is in effect.
+func (m *Mux) GobOnly() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.gobOnly
 }
 
 // HandleRaw registers a raw body handler for method.
@@ -166,18 +227,26 @@ func (m *Mux) Methods() []string {
 	return out
 }
 
-// Register installs a typed handler for method on mux.
+// Register installs a typed handler for method on mux. The response mirrors
+// the request's codec: a wire-framed request gets a wire-framed response
+// (when Resp has a codec) and a gob request gets a gob response, so old
+// callers never receive bytes they cannot decode.
 func Register[Req, Resp any](mux *Mux, method string, fn func(ctx context.Context, req Req) (Resp, error)) {
 	mux.HandleRaw(method, func(ctx context.Context, body []byte) ([]byte, error) {
 		var req Req
-		if err := Decode(body, &req); err != nil {
+		if mux.GobOnly() {
+			if err := DecodeGob(body, &req); err != nil {
+				return nil, err
+			}
+		} else if err := Decode(body, &req); err != nil {
 			return nil, err
 		}
 		resp, err := fn(ctx, req)
 		if err != nil {
 			return nil, err
 		}
-		return Encode(resp)
+		out, _, eerr := EncodeBody(resp, wire.IsFrame(body) && !mux.GobOnly())
+		return out, eerr
 	})
 }
 

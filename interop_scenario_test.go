@@ -1,0 +1,195 @@
+// Mixed-fleet codec interop scenario: one base station drives a fleet where
+// some receivers speak the wire codec and the rest are legacy binaries that
+// only understand gob (modelled with Mux.SetGobOnly). The base discovers each
+// legacy peer from its first rejected frame, falls back to gob for that peer
+// alone, and both cohorts converge to the identical adapted state. The run is
+// seeded and clock-driven, so a same-seed replay must reproduce every counter
+// bit for bit — including the codec fallback counters themselves.
+package repro
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sign"
+	"repro/internal/simnet"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+)
+
+// mixedCodecRun is everything a same-seed replay must reproduce exactly:
+// per-node adapted extensions plus the full counter/gauge snapshot (codec
+// traffic split and fallbacks included).
+type mixedCodecRun struct {
+	nodeExts map[string][]string
+	counters map[string]uint64
+	gauges   map[string]int64
+}
+
+// runMixedCodecFleet plays one adapt-and-renew run over a fleet of nWire
+// wire-speaking nodes and nLegacy gob-only nodes behind a single base.
+func runMixedCodecFleet(t *testing.T, seed int64, nWire, nLegacy int) mixedCodecRun {
+	t.Helper()
+
+	clk := clock.NewManual(time.Unix(0, 0))
+	net := simnet.New(clk, seed)
+	defer net.Close()
+	reg := metrics.New()
+	net.Instrument(reg)
+
+	nodes := make(map[string]*fleetNode, nWire+nLegacy)
+	var names []string
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	addNode := func(name string, legacy bool) {
+		fn := newFleetNode(name, clk)
+		mux := transport.NewMux()
+		fn.serveOn(mux)
+		// A legacy receiver is the same binary surface minus the codec: it
+		// gob-decodes every body, so wire frames fail exactly the way an old
+		// node's gob decoder fails on them.
+		mux.SetGobOnly(legacy)
+		stop, err := net.Serve(name, mux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stops = append(stops, stop)
+		nodes[name] = fn
+		names = append(names, name)
+	}
+	for i := 0; i < nWire; i++ {
+		addNode(fmtNodeName("wire", i), false)
+	}
+	for i := 0; i < nLegacy; i++ {
+		addNode(fmtNodeName("legacy", i), true)
+	}
+
+	signer, err := sign.NewSigner("mixed-base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	breaker := transport.NewBreakerSet(seed, transport.BreakerConfig{
+		Threshold: 1,
+		Cooldown:  time.Minute,
+		Jitter:    0,
+		Clock:     clk,
+	})
+	base, err := core.NewBase(core.BaseConfig{
+		Name:          "mixed-base",
+		Addr:          "mixed-base",
+		Caller:        net.Node("mixed-base"),
+		Signer:        signer,
+		Clock:         clk,
+		Breaker:       breaker,
+		LeaseDur:      time.Minute,
+		RenewFraction: 0.5,
+		RenewRetries:  1,
+		CallTimeout:   time.Hour, // simulated time governs
+		Shards:        4,
+		RenewBatch:    8,
+		RenewWorkers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	base.Instrument(reg)
+
+	for _, ext := range []core.Extension{
+		noopScenarioExt("policy", 1),
+		noopScenarioExt("telemetry", 1),
+	} {
+		if err := base.AddExtension(ext); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Adapt the whole mixed fleet. The first push to each legacy node is a
+	// wire frame it rejects; the fabric remembers the peer and re-sends in
+	// gob, so every adapt still succeeds on the first AdaptNode call.
+	for _, name := range names {
+		if err := base.AdaptNode(name, name); err != nil {
+			t.Fatalf("adapt %s: %v", name, err)
+		}
+	}
+
+	// Two renewal windows: plenty of batched renew traffic in both codecs,
+	// and any mis-remembered peer codec would break renewals here.
+	for elapsed := time.Duration(0); elapsed < 2*time.Minute; elapsed += 15 * time.Second {
+		clk.Advance(15 * time.Second)
+		testutil.WaitFor(t, "renewals quiesced", base.RenewalsQuiesced)
+	}
+	if got := base.Degraded(); len(got) != 0 {
+		t.Fatalf("degraded nodes in a fault-free mixed fleet: %v", got)
+	}
+
+	run := mixedCodecRun{nodeExts: make(map[string][]string, len(nodes))}
+	for name, fn := range nodes {
+		fn.mu.Lock()
+		var exts []string
+		for ext := range fn.grants {
+			exts = append(exts, ext)
+		}
+		fn.mu.Unlock()
+		sort.Strings(exts)
+		run.nodeExts[name] = exts
+	}
+	snap := reg.Snapshot()
+	run.counters = snap.Counters
+	run.gauges = snap.Gauges
+	return run
+}
+
+func fmtNodeName(kind string, i int) string {
+	return fmt.Sprintf("%s-%02d", kind, i)
+}
+
+// TestScenarioMixedFleetCodecInterop proves the codec rollout story: wire
+// and gob receivers coexist behind one base, the per-peer fallback fires
+// exactly once per legacy node, both cohorts converge to the same adapted
+// state, and a same-seed replay reproduces the run bit for bit.
+func TestScenarioMixedFleetCodecInterop(t *testing.T) {
+	seed := scenarioSeed(t)
+	const nWire, nLegacy = 5, 3
+
+	run := runMixedCodecFleet(t, seed, nWire, nLegacy)
+
+	// Convergence: every node — either cohort — holds exactly the pushed set.
+	want := []string{"policy", "telemetry"}
+	for name, exts := range run.nodeExts {
+		if !reflect.DeepEqual(exts, want) {
+			t.Errorf("node %s converged to %v, want %v", name, exts, want)
+		}
+	}
+
+	// Codec split: the fallback fired exactly once per legacy node (their
+	// first push), never for a wire node; after discovery both cohorts kept
+	// their codecs, so both body counters saw real traffic.
+	if got := run.counters["simnet.codec_fallbacks"]; got != nLegacy {
+		t.Errorf("simnet.codec_fallbacks = %d, want %d (one first-contact fallback per legacy node)", got, nLegacy)
+	}
+	if got := run.counters["simnet.wire_bodies"]; got == 0 {
+		t.Error("simnet.wire_bodies = 0: the wire cohort never used the codec")
+	}
+	// Every legacy node costs at least its re-sent push plus renew batches.
+	if got := run.counters["simnet.gob_bodies"]; got < 2*nLegacy {
+		t.Errorf("simnet.gob_bodies = %d, want >= %d (fallback re-sends plus legacy renewals)", got, 2*nLegacy)
+	}
+
+	// Replayability: the identical seed reproduces the whole run, codec
+	// discovery and all counters included.
+	replay := runMixedCodecFleet(t, seed, nWire, nLegacy)
+	if !reflect.DeepEqual(replay, run) {
+		t.Errorf("same-seed replay diverged:\n first: %v\nreplay: %v", run.counters, replay.counters)
+	}
+}
