@@ -75,12 +75,18 @@ func run() error {
 		renewTick = flag.Duration("renew-tick", 0, "renewal timer-wheel granularity (0 = lease*fraction/4)")
 		renewWrk  = flag.Int("renew-workers", 8, "concurrent renewal RPC workers")
 		wireOn    = flag.Bool("wire", true, "negotiate the binary wire codec with peers (false = gob only, for mixed fleets)")
+		smpRate   = flag.Float64("trace-sample", 1, "head-sampling rate for new traces, 0..1 (1 = record everything)")
+		smpSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "tail-keep threshold: sampled-out spans at least this slow are retained anyway")
 		exts      extFlags
 	)
 	flag.Var(&exts, "ext", "extension preset, repeatable: hwmonitor | logger | accesscontrol:allow=a,b")
 	flag.Parse()
 
-	tracer := trace.New(clock.Real{}.Now().UnixNano())
+	seed := clock.Real{}.Now().UnixNano()
+	tracer := trace.New(seed)
+	if *smpRate < 1 {
+		tracer.SetSampler(trace.SamplerConfig{Rate: *smpRate, Seed: seed, SlowThreshold: *smpSlow})
+	}
 
 	signer, err := sign.NewSigner(*name)
 	if err != nil {
@@ -202,7 +208,7 @@ func run() error {
 	if !*wireOn {
 		serveTCP = transport.ServeTCPLegacy
 	}
-	srv, err := serveTCP(*addr, transport.TraceHandling(mux, tracer, *name))
+	srv, err := serveTCP(*addr, transport.REDHandling(transport.TraceHandling(mux, tracer, *name), reg))
 	if err != nil {
 		return err
 	}
@@ -225,9 +231,13 @@ func run() error {
 			}
 			return nil
 		})
+		health.RegisterValue("base.degraded_nodes", func() int64 { return int64(len(base.Degraded())) })
+		health.RegisterValue("base.renewal_backlog", func() int64 { return int64(base.RenewalBacklog()) })
+		health.RegisterValue("trace.spans_dropped", func() int64 { return int64(tracer.SpansDropped()) })
 		mounts := []metrics.Mount{
 			{Pattern: "/trace", Handler: trace.Handler(tracer)},
 			{Pattern: "/events", Handler: trace.EventsHandler(tracer)},
+			{Pattern: "/fleet", Handler: core.FleetHandler(base)},
 		}
 		if *pprofOn {
 			mounts = append(mounts, metrics.PprofMounts()...)
@@ -237,7 +247,7 @@ func run() error {
 			return err
 		}
 		defer stopHTTP()
-		log.Printf("metrics on http://%s/metrics, traces on http://%s/trace", maddr, maddr)
+		log.Printf("metrics on http://%s/metrics, traces on http://%s/trace, fleet view on http://%s/fleet", maddr, maddr, maddr)
 		if *pprofOn {
 			log.Printf("pprof on http://%s/debug/pprof/", maddr)
 		}

@@ -12,6 +12,11 @@
 //	midasctl -base 127.0.0.1:7000 records [robot]
 //	midasctl -base 127.0.0.1:7000 status
 //	midasctl -base 127.0.0.1:7000 analyze <extension>
+//	midasctl -base 127.0.0.1:7000 top
+//
+// The metrics and top subcommands accept -watch <interval> to poll and
+// re-render in place (Ctrl-C exits); top shows the base's merged fleet
+// observability view, slowest methods first.
 package main
 
 import (
@@ -21,9 +26,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/registry"
@@ -43,11 +50,12 @@ func run() error {
 		nodeAddr   = flag.String("node", "", "adaptation service address")
 		lookupAddr = flag.String("lookup", "", "lookup service address")
 		baseAddr   = flag.String("base", "", "base station address")
+		watch      = flag.Duration("watch", 0, "poll and re-render every interval (metrics and top; 0 = print once)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: list | revoke <name> | metrics | trace [query] | services | records [robot] | status | analyze <name>")
+		return fmt.Errorf("need a subcommand: list | revoke <name> | metrics | trace [query] | services | records [robot] | status | analyze <name> | top")
 	}
 
 	caller := transport.NewTCPCaller()
@@ -91,11 +99,26 @@ func run() error {
 		if target == "" {
 			return fmt.Errorf("metrics needs -node or -base")
 		}
-		resp, err := transport.Invoke[core.EmptyResp, core.MetricsResp](ctx, caller, target, core.MethodMetrics, core.EmptyResp{})
-		if err != nil {
-			return err
+		return watchLoop(*watch, func(ctx context.Context) error {
+			resp, err := transport.Invoke[core.EmptyResp, core.MetricsResp](ctx, caller, target, core.MethodMetrics, core.EmptyResp{})
+			if err != nil {
+				return err
+			}
+			metrics.WriteText(os.Stdout, resp.Snap)
+			return nil
+		})
+	case "top":
+		if *baseAddr == "" {
+			return fmt.Errorf("top needs -base")
 		}
-		metrics.WriteText(os.Stdout, resp.Snap)
+		return watchLoop(*watch, func(ctx context.Context) error {
+			resp, err := transport.Invoke[core.EmptyResp, core.FleetResp](ctx, caller, *baseAddr, core.MethodBaseFleet, core.EmptyResp{})
+			if err != nil {
+				return err
+			}
+			writeFleet(os.Stdout, resp)
+			return nil
+		})
 	case "trace":
 		target := *nodeAddr
 		if target == "" {
@@ -173,6 +196,62 @@ func run() error {
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
 	return nil
+}
+
+// watchLoop renders once, or — with a positive interval — clears the screen
+// and re-renders every interval until interrupted or a poll fails. Each round
+// gets its own timeout so a stalled peer cannot wedge the loop forever.
+func watchLoop(interval time.Duration, render func(ctx context.Context) error) error {
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if interval > 0 {
+			fmt.Print("\x1b[H\x1b[2J") // cursor home + clear, like watch(1)
+		}
+		err := render(ctx)
+		cancel()
+		if err != nil || interval <= 0 {
+			return err
+		}
+		<-clock.Real{}.After(interval)
+	}
+}
+
+// writeFleet renders the base's merged fleet observability view: the rollup
+// sorted slowest-method first, then the busiest nodes with their trace-drop
+// counters, plus whatever the base currently considers degraded.
+func writeFleet(w io.Writer, resp core.FleetResp) {
+	fmt.Fprintf(w, "fleet: %d report(s) merged, %d method(s), %d node(s)\n",
+		resp.Reports, len(resp.Methods), len(resp.Nodes))
+	if len(resp.Degraded) > 0 {
+		fmt.Fprintf(w, "degraded: %s\n", strings.Join(resp.Degraded, ", "))
+	}
+	methods := append([]core.FleetMethod(nil), resp.Methods...)
+	sort.Slice(methods, func(i, j int) bool {
+		if methods[i].MeanNs != methods[j].MeanNs {
+			return methods[i].MeanNs > methods[j].MeanNs
+		}
+		return methods[i].Method < methods[j].Method
+	})
+	if len(methods) > 0 {
+		fmt.Fprintf(w, "\n%-28s %10s %8s %12s\n", "METHOD", "CALLS", "ERRORS", "MEAN")
+		for _, m := range methods {
+			fmt.Fprintf(w, "%-28s %10d %8d %12s\n", m.Method, m.Count, m.Errors, time.Duration(m.MeanNs))
+		}
+	}
+	nodes := append([]core.FleetNode(nil), resp.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Count != nodes[j].Count {
+			return nodes[i].Count > nodes[j].Count
+		}
+		return nodes[i].Node < nodes[j].Node
+	})
+	if len(nodes) > 0 {
+		fmt.Fprintf(w, "\n%-24s %10s %8s %9s %12s %9s\n", "NODE", "CALLS", "ERRORS", "DROPPED", "SAMPLED-OUT", "TAILKEPT")
+		for _, n := range nodes {
+			fmt.Fprintf(w, "%-24s %10d %8d %9d %12d %9d\n",
+				n.Node, n.Count, n.Errors, n.SpansDropped, n.SampledOut, n.TailKept)
+		}
+	}
 }
 
 // writeAnalysis renders one extension's stored admission analysis.

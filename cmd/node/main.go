@@ -66,10 +66,17 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "fault-injection RNG seed (used with -faults)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
 		wireOn   = flag.Bool("wire", true, "negotiate the binary wire codec with peers (false = gob only, for mixed fleets)")
+		smpRate  = flag.Float64("trace-sample", 1, "head-sampling rate for new traces, 0..1 (1 = record everything)")
+		smpSlow  = flag.Duration("trace-slow", 100*time.Millisecond, "tail-keep threshold: sampled-out spans at least this slow are retained anyway")
 	)
 	flag.Parse()
 
-	tracer := trace.New(clock.Real{}.Now().UnixNano())
+	tseed := clock.Real{}.Now().UnixNano()
+	tracer := trace.New(tseed)
+	if *smpRate < 1 {
+		tracer.SetSampler(trace.SamplerConfig{Rate: *smpRate, Seed: tseed, SlowThreshold: *smpSlow})
+	}
+	reg := metrics.New()
 
 	weaver := weave.New()
 	canvas := plotter.NewCanvas(40, 20)
@@ -123,7 +130,7 @@ func run() error {
 		caller = chaos
 		log.Printf("chaos: injecting %s on outbound calls (seed %d)", *faults, *seed)
 	}
-	caller = transport.TraceCalls(caller, tracer)
+	caller = transport.REDCalls(transport.TraceCalls(caller, tracer), reg)
 	builtins := core.NewBuiltins()
 	ext.RegisterAll(builtins)
 	host := ext.NewNodeHost(ext.NodeHostConfig{
@@ -140,7 +147,7 @@ func run() error {
 		mux.SetGobOnly(true)
 		serveTCP = transport.ServeTCPLegacy
 	}
-	srv, err := serveTCP(*addr, transport.TraceHandling(mux, tracer, *name))
+	srv, err := serveTCP(*addr, transport.REDHandling(transport.TraceHandling(mux, tracer, *name), reg))
 	if err != nil {
 		return err
 	}
@@ -169,7 +176,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	reg := metrics.New()
 	weaver.Instrument(reg)
 	tcp.Instrument(reg)
 	if chaos != nil {
@@ -204,6 +210,11 @@ func run() error {
 				return err
 			}
 			return conn.Close()
+		})
+		health.RegisterValue("trace.spans_dropped", func() int64 { return int64(tracer.SpansDropped()) })
+		health.RegisterValue("trace.tail_kept", func() int64 {
+			_, kept := tracer.SamplerStats()
+			return int64(kept)
 		})
 		mounts := []metrics.Mount{
 			{Pattern: "/trace", Handler: trace.Handler(tracer)},

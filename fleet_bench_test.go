@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sign"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -33,7 +34,11 @@ type benchFleet struct {
 	names []string
 }
 
-func newBenchFleet(b *testing.B, nNodes int) *benchFleet {
+// newBenchFleet wires the fleet; observed additionally turns the node side of
+// the observability plane on — RED instruments and piggyback reporting on
+// every node — so the observed benchmarks price exactly what a fully
+// instrumented deployment pays.
+func newBenchFleet(b *testing.B, nNodes int, observed bool) *benchFleet {
 	b.Helper()
 	clk := clock.NewManual(time.Unix(0, 0))
 	fabric := transport.NewInProc()
@@ -43,7 +48,12 @@ func newBenchFleet(b *testing.B, nNodes int) *benchFleet {
 		fn := newFleetNode(names[i], clk)
 		mux := transport.NewMux()
 		fn.serveOn(mux)
-		stop, err := fabric.Serve(names[i], mux)
+		var h transport.Handler = mux
+		if observed {
+			fn.obsReg = metrics.New()
+			h = transport.REDHandling(mux, fn.obsReg)
+		}
+		stop, err := fabric.Serve(names[i], h)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +128,7 @@ func fleetBenchSizes(b *testing.B) []int {
 func BenchmarkFleetAdapt(b *testing.B) {
 	for _, n := range fleetBenchSizes(b) {
 		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
-			f := newBenchFleet(b, n)
+			f := newBenchFleet(b, n, false)
 			runtime.GC() // earlier sub-benchmarks' garbage is not this bench's cost
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -144,7 +154,7 @@ func BenchmarkFleetAdapt(b *testing.B) {
 func BenchmarkFleetReconcile(b *testing.B) {
 	for _, n := range fleetBenchSizes(b) {
 		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
-			f := newBenchFleet(b, n)
+			f := newBenchFleet(b, n, false)
 			f.adaptAll(b)
 			ctx := context.Background()
 			runtime.GC() // earlier sub-benchmarks' garbage is not this bench's cost
@@ -166,11 +176,33 @@ func BenchmarkFleetReconcile(b *testing.B) {
 // BenchmarkRenewScheduler measures one renewal window: the timer wheel fires
 // every lease in the fleet, coalesces them into per-node batches, and the
 // worker pool renews them over the fabric. One op keeps 2*nodes leases
-// alive.
+// alive. Sampling is on — the base traces the window at a 1% head rate with
+// tail-keep — and the acceptance bar is that ns_per_window stays within noise
+// of the pre-sampling number.
 func BenchmarkRenewScheduler(b *testing.B) {
+	benchRenewScheduler(b, "BenchmarkRenewScheduler", false)
+}
+
+// BenchmarkRenewSchedulerObserved is the same renewal window with the rest of
+// the observability plane on top of sampling: every node serves its RPCs
+// through RED histograms and piggybacks obs deltas on the batch responses,
+// which the base merges into the fleet view. The delta over the unobserved
+// arm prices the whole fleet-aggregation feature; EXPERIMENTS.md records it.
+func BenchmarkRenewSchedulerObserved(b *testing.B) {
+	benchRenewScheduler(b, "BenchmarkRenewSchedulerObserved", true)
+}
+
+func benchRenewScheduler(b *testing.B, name string, observed bool) {
 	for _, n := range fleetBenchSizes(b) {
 		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
-			f := newBenchFleet(b, n)
+			f := newBenchFleet(b, n, observed)
+			// Both arms trace with the production sampler config: sampling is
+			// part of the base's steady state, not an observed-only extra.
+			tr := trace.New(1)
+			tr.SetSampler(trace.SamplerConfig{
+				Rate: 0.01, Seed: 1, SlowThreshold: 50 * time.Millisecond,
+			})
+			f.base.Trace(tr)
 			f.adaptAll(b)
 			leases := f.base.ScheduledRenewals()
 			window := 30 * time.Second // LeaseDur * RenewFraction
@@ -186,12 +218,16 @@ func BenchmarkRenewScheduler(b *testing.B) {
 			perLease := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(leases)
 			b.ReportMetric(perLease, "ns/lease")
 			b.ReportMetric(float64(runtime.NumGoroutine()), "goroutines")
-			writeFleetBench(b, "BenchmarkRenewScheduler", n, map[string]float64{
+			vals := map[string]float64{
 				"ns_per_window": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 				"ns_per_lease":  perLease,
 				"leases":        float64(leases),
 				"goroutines":    float64(runtime.NumGoroutine()),
-			})
+			}
+			if observed {
+				vals["reports"] = float64(f.base.FleetStatus().Reports)
+			}
+			writeFleetBench(b, name, n, vals)
 		})
 	}
 }

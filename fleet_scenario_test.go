@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/sign"
 	"repro/internal/simnet"
 	"repro/internal/testutil"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -66,9 +68,20 @@ type fleetNode struct {
 	name string
 	clk  clock.Clock
 
-	mu     sync.Mutex
-	seq    int
-	grants map[string]fleetGrant // extension name -> grant
+	mu      sync.Mutex
+	seq     int
+	grants  map[string]fleetGrant // extension name -> grant
+	obsReg  *metrics.Registry     // when set, WantObs batches answer with deltas
+	obsSent map[string]fleetObsCum
+}
+
+// fleetObsCum is the cumulative RED state already reported upstream, so the
+// next piggybacked report carries only the delta — the same bookkeeping a
+// real receiver keeps.
+type fleetObsCum struct {
+	count  uint64
+	errors uint64
+	sumNs  int64
 }
 
 func newFleetNode(name string, clk clock.Clock) *fleetNode {
@@ -138,6 +151,9 @@ func (n *fleetNode) serveOn(mux *transport.Mux) {
 		for i, it := range req.Items {
 			resp.Items[i].DurMillis, resp.Items[i].Err = n.renewLocked(it.LeaseID, it.DurMillis)
 		}
+		if req.WantObs {
+			resp.Obs = n.obsDeltaLocked()
+		}
 		return resp, nil
 	})
 	transport.Register(mux, core.MethodRevoke, func(_ context.Context, req core.RevokeReq) (core.EmptyResp, error) {
@@ -162,6 +178,60 @@ func (n *fleetNode) serveOn(mux *transport.Mux) {
 		sort.Slice(resp.Items, func(i, j int) bool { return resp.Items[i].Name < resp.Items[j].Name })
 		return resp, nil
 	})
+}
+
+// obsDeltaLocked computes the node's piggyback report from its own RED
+// registry, mirroring a real receiver's delta bookkeeping: cumulative
+// counters minus what was already reported, nil when nothing is new.
+func (n *fleetNode) obsDeltaLocked() *core.ObsReport {
+	if n.obsReg == nil {
+		return nil
+	}
+	if n.obsSent == nil {
+		n.obsSent = make(map[string]fleetObsCum)
+	}
+	prefix := transport.REDSuffix(transport.REDServerPrefix, "ns", "")
+	rep := &core.ObsReport{}
+	n.obsReg.VisitHistograms(func(name string, count uint64, sum int64) {
+		method, ok := strings.CutPrefix(name, prefix)
+		if !ok || method == "" {
+			return
+		}
+		cum := fleetObsCum{
+			count:  count,
+			sumNs:  sum,
+			errors: n.obsReg.CounterValue(transport.REDSuffix(transport.REDServerPrefix, "errors", method)),
+		}
+		last := n.obsSent[method]
+		d := core.ObsMethodDelta{
+			Method: method,
+			Count:  cum.count - last.count,
+			Errors: cum.errors - last.errors,
+			SumNs:  cum.sumNs - last.sumNs,
+		}
+		if d.Count == 0 && d.Errors == 0 && d.SumNs == 0 {
+			return
+		}
+		n.obsSent[method] = cum
+		rep.Methods = append(rep.Methods, d)
+	})
+	if len(rep.Methods) == 0 {
+		return nil
+	}
+	sort.Slice(rep.Methods, func(i, j int) bool { return rep.Methods[i].Method < rep.Methods[j].Method })
+	return rep
+}
+
+// reportedCalls sums the RED call counts this node has reported upstream so
+// far — the node-side ground truth the base's fleet view must agree with.
+func (n *fleetNode) reportedCalls() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total uint64
+	for _, c := range n.obsSent {
+		total += c.count
+	}
+	return total
 }
 
 // fleetNodeState is one node's row in a convergence summary: everything
@@ -402,6 +472,266 @@ func runFleet(t *testing.T, seed int64, nNodes int, withFaults bool) fleetRun {
 	run.counters = snap.Counters
 	run.gauges = snap.Gauges
 	return run
+}
+
+// obsFleetRun captures one observability run for same-seed replay
+// comparison. RPC latencies are wall-clock and therefore excluded (the fleet
+// view is normalized); everything else — sampling decisions, tail-keep,
+// ring occupancy, audit spans with their IDs and manual-clock timestamps —
+// must replay bit for bit.
+type obsFleetRun struct {
+	fleet      core.FleetResp
+	sampledOut uint64
+	tailKept   uint64
+	dropped    uint64
+	ringUsed   int
+	audits     []trace.SpanSnapshot
+}
+
+// normalizeFleet zeroes the wall-clock latency sums, which are the only
+// non-deterministic part of the fleet view.
+func normalizeFleet(f core.FleetResp) core.FleetResp {
+	out := f
+	out.Methods = append([]core.FleetMethod(nil), f.Methods...)
+	for i := range out.Methods {
+		out.Methods[i].SumNs, out.Methods[i].MeanNs = 0, 0
+	}
+	out.Nodes = append([]core.FleetNode(nil), f.Nodes...)
+	for i := range out.Nodes {
+		out.Nodes[i].SumNs = 0
+	}
+	out.Degraded = nil
+	return out
+}
+
+// runObsFleet plays the observability scenario: a full fleet adapts and
+// renews with 1% head sampling plus tail-keep on the base tracer and RED
+// piggyback reporting from every node, then an audit sweep starts one span
+// per node with seeded error and slow picks. It asserts the plane's
+// invariants inline and returns the replay capture.
+func runObsFleet(t *testing.T, seed int64, nNodes int) obsFleetRun {
+	t.Helper()
+	clk := clock.NewManual(time.Unix(0, 0))
+	net := simnet.New(clk, seed)
+	defer net.Close()
+
+	// The tracer reads the manual clock plus a test-controlled skew: bumping
+	// the skew between a span's start and end makes it "slow" without
+	// advancing the renewal wheel.
+	tracer := trace.New(seed)
+	var skewMu sync.Mutex
+	skew := time.Duration(0)
+	tracer.SetNow(func() time.Time {
+		skewMu.Lock()
+		defer skewMu.Unlock()
+		return clk.Now().Add(skew)
+	})
+	const slowCut = 50 * time.Millisecond
+	tracer.SetSampler(trace.SamplerConfig{Rate: 0.01, Seed: seed, SlowThreshold: slowCut})
+
+	names := make([]string, nNodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%05d", i)
+	}
+	fleet := make(map[string]*fleetNode, nNodes)
+	for _, name := range names {
+		fn := newFleetNode(name, clk)
+		fn.obsReg = metrics.New()
+		mux := transport.NewMux()
+		fn.serveOn(mux)
+		stop, err := net.Serve(name, transport.REDHandling(mux, fn.obsReg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stop()
+		fleet[name] = fn
+	}
+
+	signer, err := sign.NewSigner("fleet-base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.NewBase(core.BaseConfig{
+		Name:          "fleet-base",
+		Addr:          "fleet-base",
+		Caller:        net.Node("fleet-base"),
+		Signer:        signer,
+		Clock:         clk,
+		LeaseDur:      time.Minute,
+		RenewFraction: 0.5,
+		RenewRetries:  1,
+		CallTimeout:   time.Hour,
+		Shards:        16,
+		RenewBatch:    64,
+		// One renewal worker: concurrent workers interleave their draws from
+		// the tracer's ID source, which shuffles sampling decisions between
+		// runs — the exact hazard the scheduler's Workers doc calls out for
+		// traced scenarios. Replayability needs ordered traffic.
+		RenewWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	reg := metrics.New()
+	base.Instrument(reg) // an instrumented base asks nodes for piggybacked deltas
+	base.Trace(tracer)
+	baseMux := transport.NewMux()
+	base.ServeOn(baseMux)
+	stopBase, err := net.Serve("fleet-base", baseMux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopBase()
+
+	for _, ext := range []core.Extension{
+		noopScenarioExt("policy", 1),
+		noopScenarioExt("telemetry", 1),
+	} {
+		if err := base.AddExtension(ext); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range names {
+		if err := base.AdaptNode(name, name); err != nil {
+			t.Fatalf("adapt %s: %v", name, err)
+		}
+	}
+
+	// Two renewal windows: every node serves at least one WantObs batch and
+	// reports its RED deltas back.
+	for elapsed := time.Duration(0); elapsed < 60*time.Second; elapsed += 15 * time.Second {
+		clk.Advance(15 * time.Second)
+		testutil.WaitFor(t, "renewals quiesced", base.RenewalsQuiesced)
+	}
+
+	// The audit sweep: one span per node, ~1% erroring and ~0.5% slow
+	// (disjoint picks), against a 1% head-sampling rate. Tail-keep must
+	// rescue every error and every slow span.
+	rng := rand.New(rand.NewSource(seed ^ 0xa0d17))
+	perm := rng.Perm(nNodes)
+	nErr := max(1, nNodes/100)
+	nSlow := max(1, nNodes/200)
+	isErr := make(map[int]bool, nErr)
+	isSlow := make(map[int]bool, nSlow)
+	for _, idx := range perm[:nErr] {
+		isErr[idx] = true
+	}
+	for _, idx := range perm[nErr : nErr+nSlow] {
+		isSlow[idx] = true
+	}
+	for i, name := range names {
+		_, sp := tracer.StartSpan(context.Background(), "fleet.audit")
+		sp.Tag("node", name)
+		if isSlow[i] {
+			skewMu.Lock()
+			skew += slowCut + 10*time.Millisecond
+			skewMu.Unlock()
+		}
+		if isErr[i] {
+			sp.End(fmt.Errorf("audit %s failed", name))
+		} else {
+			sp.End(nil)
+		}
+	}
+
+	// Zero dropped error/slow traces: despite the 1% rate, every error span
+	// and every slow span is in the ring.
+	audits := tracer.Spans(trace.Filter{Name: "fleet.audit"})
+	gotErr, gotSlow := 0, 0
+	for _, s := range audits {
+		if s.Err != "" {
+			gotErr++
+		} else if s.Duration() >= slowCut {
+			gotSlow++
+		}
+	}
+	if gotErr != nErr {
+		t.Errorf("error audit spans recorded = %d, want all %d", gotErr, nErr)
+	}
+	if gotSlow != nSlow {
+		t.Errorf("slow audit spans recorded = %d, want all %d", gotSlow, nSlow)
+	}
+
+	// Bounded trace memory: sampling kept the ring under capacity with zero
+	// evictions across a >=10k-span workload.
+	used, capacity := tracer.RingOccupancy()
+	if used > capacity {
+		t.Errorf("ring occupancy %d over capacity %d", used, capacity)
+	}
+	if dropped := tracer.SpansDropped(); dropped != 0 {
+		t.Errorf("ring evicted %d spans; sampling should have kept it bounded", dropped)
+	}
+	sampledOut, tailKept := tracer.SamplerStats()
+	if sampledOut == 0 || tailKept == 0 {
+		t.Errorf("sampler stats = (%d out, %d tail-kept), want both active", sampledOut, tailKept)
+	}
+
+	// Fleet aggregation: every node reported, and the per-method rollup and
+	// per-node rows are two groupings of the same deltas.
+	st := base.FleetStatus()
+	if st.Reports == 0 || len(st.Nodes) != nNodes {
+		t.Errorf("fleet view: %d reports over %d nodes, want >0 over %d", st.Reports, len(st.Nodes), nNodes)
+	}
+	var mCount, nCount uint64
+	for _, m := range st.Methods {
+		mCount += m.Count
+	}
+	var groundTruth uint64
+	for _, n := range st.Nodes {
+		nCount += n.Count
+	}
+	for _, fn := range fleet {
+		groundTruth += fn.reportedCalls()
+	}
+	if mCount != nCount || nCount != groundTruth {
+		t.Errorf("rollup calls %d, node rows %d, node-side reported %d: must all agree", mCount, nCount, groundTruth)
+	}
+	seen := make(map[string]bool, len(st.Methods))
+	for _, m := range st.Methods {
+		seen[m.Method] = true
+	}
+	if !seen[core.MethodRenewBatch] || !seen[core.MethodApplyBatch] {
+		t.Errorf("rollup methods = %v, want the batch surface present", st.Methods)
+	}
+
+	// The same view over the base.fleet RPC — the surface midasctl top polls.
+	rpcView, err := transport.Invoke[core.EmptyResp, core.FleetResp](
+		context.Background(), net.Node("probe"), "fleet-base", core.MethodBaseFleet, core.EmptyResp{})
+	if err != nil {
+		t.Fatalf("base.fleet RPC: %v", err)
+	}
+	if got, want := normalizeFleet(rpcView), normalizeFleet(st); !reflect.DeepEqual(got, want) {
+		t.Errorf("base.fleet RPC view diverges from FleetStatus:\n got: %+v\nwant: %+v", got, want)
+	}
+
+	return obsFleetRun{
+		fleet:      normalizeFleet(st),
+		sampledOut: sampledOut,
+		tailKept:   tailKept,
+		dropped:    tracer.SpansDropped(),
+		ringUsed:   used,
+		audits:     audits,
+	}
+}
+
+// TestFleetObservability is the fleet-scale proof for the observability
+// plane: a 10k-node fleet under 1% head sampling with tail-keep holds its
+// trace ring bounded without losing a single error or slow span, the base's
+// fleet rollup agrees with per-node ground truth, and a same-seed replay
+// reproduces every sampling decision, span ID and timestamp bit for bit.
+func TestFleetObservability(t *testing.T) {
+	seed := testutil.SeedFromEnv(t, "FLEET_SEED", fleetSeedDefault)
+	nNodes := fleetNodeCount(t)
+	t.Logf("fleet obs: %d nodes, seed %d", nNodes, seed)
+
+	first := runObsFleet(t, seed, nNodes)
+	replay := runObsFleet(t, seed, nNodes)
+	if !reflect.DeepEqual(replay, first) {
+		t.Errorf("same-seed replay diverged:\n first: %d/%d sampled-out/tail-kept, %d ring, %d audits\nreplay: %d/%d sampled-out/tail-kept, %d ring, %d audits",
+			first.sampledOut, first.tailKept, first.ringUsed, len(first.audits),
+			replay.sampledOut, replay.tailKept, replay.ringUsed, len(replay.audits))
+	}
 }
 
 // TestFleetChurnConverges is the fleet-scale proof for this platform's base

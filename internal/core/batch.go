@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/lease"
@@ -27,8 +28,12 @@ const (
 // Wire types for the batch surface.
 type (
 	// RenewBatchReq renews several leases at one node in one exchange.
+	// WantObs asks the node to piggyback its observability delta on the
+	// response; it rides as an optional trailing wire field (encoded only
+	// when true) so requests to and from old peers keep their old bytes.
 	RenewBatchReq struct {
-		Items []RenewExtReq
+		Items   []RenewExtReq
+		WantObs bool
 	}
 	// RenewItemResp is one lease's renewal outcome; Err is the remote error
 	// text ("" on success) so one bad lease does not fail its batch-mates.
@@ -37,8 +42,12 @@ type (
 		Err       string
 	}
 	// RenewBatchResp carries the per-item outcomes, aligned with the request.
+	// Obs is the piggybacked observability delta (fleet.go), present only
+	// when the request asked for it — a node must never volunteer trailing
+	// bytes to a base that would reject them.
 	RenewBatchResp struct {
 		Items []RenewItemResp
+		Obs   *ObsReport
 	}
 	// ApplyBatchReq bundles the installs and revokes one reconcile diff (or
 	// adapt round) produced for one node.
@@ -75,6 +84,9 @@ func (r *Receiver) serveBatch(mux *transport.Mux) {
 			}
 			resp.Items[i].DurMillis = l.Duration.Milliseconds()
 		}
+		if req.WantObs {
+			resp.Obs = r.obsReport()
+		}
 		return resp, nil
 	})
 	transport.Register(mux, MethodApplyBatch, func(ctx context.Context, req ApplyBatchReq) (ApplyBatchResp, error) {
@@ -106,28 +118,35 @@ func (r *Receiver) serveBatch(mux *transport.Mux) {
 // peers. A call-level error fails the whole batch — the scheduler's retry
 // pacing takes over from there.
 func (b *Base) renewNodeBatch(node string, items []lease.BatchItem) ([]lease.BatchResult, error) {
-	metaByID, legacy, ok := b.renewMeta(node, items)
+	metas, legacy, ok := b.renewMeta(node, items)
 	if !ok {
 		return nil, fmt.Errorf("core: node %s is no longer tracked", node)
 	}
 	if len(items) == 1 || legacy {
 		out := make([]lease.BatchResult, len(items))
 		for i, it := range items {
-			out[i] = b.renewOne(node, it.ID, metaByID[it.ID])
+			out[i] = b.renewOne(node, it.ID, metas[i])
 		}
 		return out, nil
 	}
 
-	m := b.metricsRef()
-	tr := b.traceRef()
-	_, sp := tr.StartSpan(context.Background(), "lease.renewBatch")
+	m, tr, wantObs := b.renewRefs()
+	sp := tr.StartSpanFrom(trace.SpanContext{}, "lease.renewBatch")
 	sp.Tag("node", node)
-	sp.Annotatef("%d leases due", len(items))
-	req := RenewBatchReq{Items: make([]RenewExtReq, len(items))}
+	// A tag, not an annotation: tags on a sampled-out span are free (the pool
+	// keeps their backing array), while Annotatef pays fmt on every batch.
+	sp.Tag("leases", strconv.Itoa(len(items)))
+	req := RenewBatchReq{Items: make([]RenewExtReq, len(items)), WantObs: wantObs}
 	for i, it := range items {
 		req.Items[i] = RenewExtReq{LeaseID: string(it.ID), DurMillis: b.cfg.LeaseDur.Milliseconds()}
 	}
 	rctx, cancel := context.WithTimeout(context.Background(), b.cfg.CallTimeout)
+	if sc := sp.Context(); sc.TraceID != "" {
+		// Parent the rpc.call span under this batch span. Besides the trace
+		// tree reading right, a sampled-out child rides the context's decision
+		// instead of minting a root trace ID per call on the shared RNG.
+		rctx = trace.NewContext(rctx, sc)
+	}
 	resp, err := transport.Invoke[RenewBatchReq, RenewBatchResp](rctx, b.caller, node, MethodRenewBatch, req)
 	cancel()
 	sp.End(err)
@@ -137,7 +156,7 @@ func (b *Base) renewNodeBatch(node string, items []lease.BatchItem) ([]lease.Bat
 		m.batchFallbacks.Inc()
 		out := make([]lease.BatchResult, len(items))
 		for i, it := range items {
-			out[i] = b.renewOne(node, it.ID, metaByID[it.ID])
+			out[i] = b.renewOne(node, it.ID, metas[i])
 		}
 		return out, nil
 	}
@@ -146,6 +165,7 @@ func (b *Base) renewNodeBatch(node string, items []lease.BatchItem) ([]lease.Bat
 	}
 	m.renewBatches.Inc()
 	m.renewBatchLeases.Add(uint64(len(items)))
+	b.mergeObs(node, resp.Obs)
 
 	out := make([]lease.BatchResult, len(items))
 	for i, it := range items {
@@ -164,8 +184,8 @@ func (b *Base) renewNodeBatch(node string, items []lease.BatchItem) ([]lease.Bat
 		out[i].Err = ierr
 		// Each lease's renewal is still a span of the trace that installed
 		// the extension, batched or not.
-		meta := metaByID[it.ID]
-		_, lsp := tr.StartSpan(trace.NewContext(context.Background(), meta.sc), "lease.renew")
+		meta := metas[i]
+		lsp := tr.StartSpanFrom(meta.sc, "lease.renew")
 		lsp.Tag("ext", meta.ext)
 		lsp.Tag("node", meta.nodeID)
 		lsp.End(ierr)
@@ -174,8 +194,10 @@ func (b *Base) renewNodeBatch(node string, items []lease.BatchItem) ([]lease.Bat
 }
 
 // renewMeta snapshots per-lease trace metadata (and the node's legacy flag)
-// under the node's shard lock.
-func (b *Base) renewMeta(node string, items []lease.BatchItem) (map[lease.ID]renewItemMeta, bool, bool) {
+// under the node's shard lock. The result is a slice aligned with items —
+// this runs for every due batch across the fleet, and the map it used to
+// build was the renewal window's single biggest allocation.
+func (b *Base) renewMeta(node string, items []lease.BatchItem) ([]renewItemMeta, bool, bool) {
 	s := b.nodes.shard(node)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -183,11 +205,11 @@ func (b *Base) renewMeta(node string, items []lease.BatchItem) (map[lease.ID]ren
 	if n == nil {
 		return nil, false, false
 	}
-	meta := make(map[lease.ID]renewItemMeta, len(items))
-	for _, it := range items {
+	meta := make([]renewItemMeta, len(items))
+	for i, it := range items {
 		for name, g := range n.grants {
 			if g.leaseID == it.ID {
-				meta[it.ID] = renewItemMeta{ext: name, nodeID: n.id, sc: n.spanCtxs[name]}
+				meta[i] = renewItemMeta{ext: name, nodeID: n.id, sc: n.spanCtxs[name]}
 				break
 			}
 		}

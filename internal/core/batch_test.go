@@ -18,12 +18,14 @@ import (
 // and can mark nodes crashed (every call to them fails) or legacy (batch
 // methods answer ErrNoMethod).
 type stormCaller struct {
-	mu       sync.Mutex
-	calls    map[string]int  // method -> count
-	perNode  map[string]int  // node|method -> count
-	crashed  map[string]bool // node -> every call fails
-	legacy   map[string]bool // node -> batch methods unserved
-	leaseSeq int
+	mu          sync.Mutex
+	calls       map[string]int  // method -> count
+	perNode     map[string]int  // node|method -> count
+	crashed     map[string]bool // node -> every call fails
+	legacy      map[string]bool // node -> batch methods unserved
+	leaseSeq    int
+	obsPerBatch bool // answer WantObs batches with a synthetic report
+	wantObs     int  // renewBatch requests that asked for obs
 }
 
 func newStormCaller() *stormCaller {
@@ -45,6 +47,12 @@ func (c *stormCaller) nodeCount(node, method string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.perNode[node+"|"+method]
+}
+
+func (c *stormCaller) wantObsSeen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wantObs
 }
 
 func (c *stormCaller) crash(node string)      { c.mu.Lock(); c.crashed[node] = true; c.mu.Unlock() }
@@ -83,9 +91,29 @@ func (c *stormCaller) Call(_ context.Context, to, method string, req, resp any) 
 	case MethodRenewE:
 		*(resp.(*RenewExtResp)) = RenewExtResp{DurMillis: minute}
 	case MethodRenewBatch:
+		r := req.(RenewBatchReq)
 		out := RenewBatchResp{}
-		for range req.(RenewBatchReq).Items {
+		for range r.Items {
 			out.Items = append(out.Items, RenewItemResp{DurMillis: minute})
+		}
+		if r.WantObs {
+			c.mu.Lock()
+			c.wantObs++
+			obs := c.obsPerBatch
+			c.mu.Unlock()
+			if obs {
+				// A synthetic per-report delta: every batch "served" its items,
+				// odd sequence numbers saw one error, and one span was dropped.
+				out.Obs = &ObsReport{
+					Methods: []ObsMethodDelta{{
+						Method: MethodRenewBatch,
+						Count:  uint64(len(r.Items)),
+						Errors: uint64(seq % 2),
+						SumNs:  int64(len(r.Items)) * 1_000,
+					}},
+					SpansDropped: 1,
+				}
+			}
 		}
 		*(resp.(*RenewBatchResp)) = out
 	}

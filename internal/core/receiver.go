@@ -97,6 +97,15 @@ type Receiver struct {
 	reg       *metrics.Registry
 	m         receiverMetrics
 	tracer    *trace.Tracer
+
+	// Piggybacked observability state (fleet.go): what was already reported,
+	// so each renewBatch response carries only the delta. Own lock — the
+	// report reads the registry and tracer, never receiver state.
+	obsMu         sync.Mutex
+	obsSent       map[string]obsCum
+	obsDropped    uint64
+	obsSampledOut uint64
+	obsTailKept   uint64
 }
 
 // receiverMetrics counts adaptation lifecycle events, mirroring the activity

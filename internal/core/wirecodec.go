@@ -187,11 +187,16 @@ func (r EmptyResp) MarshalWire(e *wire.Encoder) {}
 // UnmarshalWire decodes r from the wire codec.
 func (r *EmptyResp) UnmarshalWire(d *wire.Decoder) error { return d.Err() }
 
-// MarshalWire encodes r with the wire codec.
+// MarshalWire encodes r with the wire codec. WantObs is a trailing optional
+// field written only when set, so un-instrumented fleets produce the exact
+// bytes of the previous wire generation (golden vectors included).
 func (r RenewBatchReq) MarshalWire(e *wire.Encoder) {
 	e.Len(len(r.Items))
 	for _, it := range r.Items {
 		it.MarshalWire(e)
+	}
+	if r.WantObs {
+		e.Bool(true)
 	}
 }
 
@@ -207,6 +212,7 @@ func (r *RenewBatchReq) UnmarshalWire(d *wire.Decoder) error {
 	} else {
 		r.Items = nil
 	}
+	r.WantObs = d.More() && d.Bool()
 	return d.Err()
 }
 
@@ -223,11 +229,16 @@ func (r *RenewItemResp) UnmarshalWire(d *wire.Decoder) error {
 	return d.Err()
 }
 
-// MarshalWire encodes r with the wire codec.
+// MarshalWire encodes r with the wire codec. The piggybacked ObsReport is a
+// trailing optional field written only when present — a node only attaches it
+// when the request asked (WantObs), so old bases never see the extra bytes.
 func (r RenewBatchResp) MarshalWire(e *wire.Encoder) {
 	e.Len(len(r.Items))
 	for _, it := range r.Items {
 		it.MarshalWire(e)
+	}
+	if r.Obs != nil {
+		r.Obs.MarshalWire(e)
 	}
 }
 
@@ -243,6 +254,59 @@ func (r *RenewBatchResp) UnmarshalWire(d *wire.Decoder) error {
 	} else {
 		r.Items = nil
 	}
+	r.Obs = nil
+	if d.More() {
+		r.Obs = new(ObsReport)
+		if err := r.Obs.UnmarshalWire(d); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire encodes m with the wire codec.
+func (m ObsMethodDelta) MarshalWire(e *wire.Encoder) {
+	e.String(m.Method)
+	e.Uvarint(m.Count)
+	e.Uvarint(m.Errors)
+	e.Varint(m.SumNs)
+}
+
+// UnmarshalWire decodes m from the wire codec.
+func (m *ObsMethodDelta) UnmarshalWire(d *wire.Decoder) error {
+	m.Method = d.String()
+	m.Count = d.Uvarint()
+	m.Errors = d.Uvarint()
+	m.SumNs = d.Varint()
+	return d.Err()
+}
+
+// MarshalWire encodes r with the wire codec.
+func (r ObsReport) MarshalWire(e *wire.Encoder) {
+	e.Len(len(r.Methods))
+	for _, m := range r.Methods {
+		m.MarshalWire(e)
+	}
+	e.Uvarint(r.SpansDropped)
+	e.Uvarint(r.SampledOut)
+	e.Uvarint(r.TailKept)
+}
+
+// UnmarshalWire decodes r from the wire codec.
+func (r *ObsReport) UnmarshalWire(d *wire.Decoder) error {
+	if n := d.Len(); n > 0 {
+		r.Methods = make([]ObsMethodDelta, n)
+		for i := range r.Methods {
+			if err := r.Methods[i].UnmarshalWire(d); err != nil {
+				return err
+			}
+		}
+	} else {
+		r.Methods = nil
+	}
+	r.SpansDropped = d.Uvarint()
+	r.SampledOut = d.Uvarint()
+	r.TailKept = d.Uvarint()
 	return d.Err()
 }
 

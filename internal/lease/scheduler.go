@@ -204,6 +204,16 @@ func (s *Scheduler) Len() int {
 	return len(s.entries)
 }
 
+// Backlog reports the renewal work outstanding right now: leases that came
+// due but are not yet queued, plus queued and in-flight batch jobs. A healthy
+// scheduler hovers near zero; a sustained backlog means the worker pool is
+// not keeping up with the fleet's renewal rate.
+func (s *Scheduler) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.due) + s.pending
+}
+
 // Quiesced reports whether every tick the clock has passed was fully
 // processed and no renewal work is queued or in flight, so a deterministic
 // test can advance the clock tick by tick: advance, wait for Quiesced,

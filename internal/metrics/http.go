@@ -12,9 +12,15 @@ import (
 
 // Handler serves the registry's snapshot as JSON (expvar-style): counters and
 // gauges as flat name → value maps, histograms with bounds, per-bucket counts,
-// total count and sum.
+// total count, sum and p50/p95/p99. With ?format=prom it serves the same
+// snapshot as Prometheus text exposition instead (see WriteProm).
 func Handler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req != nil && req.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WriteProm(w, r.Snapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -55,7 +61,8 @@ func WriteText(w io.Writer, s Snapshot) {
 		if h.Count > 0 {
 			mean = time.Duration(h.Sum / int64(h.Count))
 		}
-		fmt.Fprintf(w, "%-32s count=%d mean=%s\n", n, h.Count, mean)
+		fmt.Fprintf(w, "%-32s count=%d mean=%s p50=%s p95=%s p99=%s\n",
+			n, h.Count, mean, time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99))
 		for i, c := range h.Counts {
 			if c == 0 {
 				continue
@@ -69,15 +76,21 @@ func WriteText(w io.Writer, s Snapshot) {
 	}
 }
 
-// Health aggregates named liveness checks for a /healthz endpoint.
+// Health aggregates named liveness checks for a /healthz endpoint, plus
+// informational values — gauges worth seeing next to the verdict (degraded
+// node counts, scheduler backlog, dropped spans) without failing it.
 type Health struct {
 	mu     sync.Mutex
 	checks map[string]func() error
+	values map[string]func() int64
 }
 
 // NewHealth returns an empty health checker (healthy by definition).
 func NewHealth() *Health {
-	return &Health{checks: make(map[string]func() error)}
+	return &Health{
+		checks: make(map[string]func() error),
+		values: make(map[string]func() int64),
+	}
 }
 
 // Register adds (or replaces) a named check. fn returns nil when healthy.
@@ -85,6 +98,33 @@ func (h *Health) Register(name string, fn func() error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.checks[name] = fn
+}
+
+// RegisterValue adds (or replaces) a named informational value rendered on
+// /healthz alongside the checks. Values never affect the health verdict;
+// they exist so a degrading fleet is visible where operators already look.
+func (h *Health) RegisterValue(name string, fn func() int64) {
+	if fn == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.values[name] = fn
+}
+
+// Values evaluates every registered informational value.
+func (h *Health) Values() map[string]int64 {
+	h.mu.Lock()
+	fns := make(map[string]func() int64, len(h.values))
+	for n, fn := range h.values {
+		fns[n] = fn
+	}
+	h.mu.Unlock()
+	out := make(map[string]int64, len(fns))
+	for n, fn := range fns {
+		out[n] = fn()
+	}
+	return out
 }
 
 // Check runs every registered check and reports per-check errors (nil entry =
@@ -132,6 +172,15 @@ func (h *Health) Handler() http.Handler {
 		}
 		if len(names) == 0 {
 			fmt.Fprintln(w, "ok")
+		}
+		values := h.Values()
+		names = names[:0]
+		for n := range values {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s: %d\n", n, values[n])
 		}
 	})
 }

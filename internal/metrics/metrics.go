@@ -133,6 +133,14 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// Sum returns the running sum of all observations (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
 // Since records the elapsed time from t0 in nanoseconds.
 func (h *Histogram) Since(t0 time.Time) {
 	if h != nil {
@@ -153,12 +161,60 @@ func (h *Histogram) Count() uint64 {
 }
 
 // HistSnapshot is one histogram's consistent view: Count is derived from the
-// captured Counts, so Count == sum(Counts) always holds.
+// captured Counts, so Count == sum(Counts) always holds. Bounds travel with
+// the counts so any consumer of /metrics JSON can recompute quantiles; P50,
+// P95 and P99 are precomputed from the same captured buckets for convenience.
 type HistSnapshot struct {
 	Bounds []int64  // upper bounds; Counts has one extra overflow bucket
 	Counts []uint64 // len(Bounds)+1
 	Count  uint64
 	Sum    int64
+	P50    int64
+	P95    int64
+	P99    int64
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank, the standard fixed-bucket
+// estimate. Ranks landing in the overflow bucket report the last bound (the
+// estimate cannot exceed what the buckets resolve). Returns 0 when empty.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	cum := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i >= len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lower := int64(0)
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			frac := 1.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + int64(frac*float64(h.Bounds[i]-lower))
+		}
+		cum = next
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 func (h *Histogram) snapshot() HistSnapshot {
@@ -172,6 +228,9 @@ func (h *Histogram) snapshot() HistSnapshot {
 		s.Count += c
 	}
 	s.Sum = h.sum.Load()
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -305,4 +364,37 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[n] = h.snapshot()
 	}
 	return s
+}
+
+// VisitHistograms calls f with each histogram's name, observation count, and
+// running sum, in no particular order. Unlike Snapshot it copies no buckets
+// and computes no quantiles — the cheap choice for delta extraction on report
+// paths that only need the totals. f may call back into the registry.
+func (r *Registry) VisitHistograms(f func(name string, count uint64, sum int64)) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.histograms))
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for n, h := range r.histograms {
+		names = append(names, n)
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+	for i, h := range hists {
+		f(names[i], h.Count(), h.Sum())
+	}
+}
+
+// CounterValue reads one counter by name without snapshotting the registry.
+// Returns 0 when the counter does not exist (or on a nil registry).
+func (r *Registry) CounterValue(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	return c.Value()
 }

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestHistQuantile pins the fixed-bucket quantile estimate: linear
+// interpolation inside the target bucket, the last bound as the ceiling for
+// overflow ranks, zero when empty.
+func TestHistQuantile(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 400})
+	if got := h.snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	// 10 observations in (100, 200]: the median interpolates inside it.
+	for i := 0; i < 10; i++ {
+		h.Observe(150)
+	}
+	s := h.snapshot()
+	if got := s.Quantile(0.5); got != 150 {
+		t.Fatalf("p50 = %d, want the bucket midpoint 150", got)
+	}
+	if s.P50 != s.Quantile(0.5) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Fatal("precomputed quantiles disagree with Quantile")
+	}
+	// Overflow observations cap the estimate at the last bound.
+	h2 := NewHistogram([]int64{100, 200, 400})
+	for i := 0; i < 10; i++ {
+		h2.Observe(10_000)
+	}
+	if got := h2.snapshot().Quantile(0.99); got != 400 {
+		t.Fatalf("overflow p99 = %d, want the last bound 400", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if a, b := s.Quantile(-1), s.Quantile(2); a > b || b > 200 {
+		t.Fatalf("clamped quantiles = %d, %d", a, b)
+	}
+	// A skewed spread: 90 fast + 10 slow must pull p95 into the slow bucket.
+	h3 := NewHistogram([]int64{100, 200, 400})
+	for i := 0; i < 90; i++ {
+		h3.Observe(50)
+	}
+	for i := 0; i < 10; i++ {
+		h3.Observe(300)
+	}
+	s3 := h3.snapshot()
+	if s3.P50 > 100 {
+		t.Fatalf("p50 = %d, want inside the fast bucket", s3.P50)
+	}
+	if s3.P95 <= 200 || s3.P95 > 400 {
+		t.Fatalf("p95 = %d, want inside the slow bucket (200, 400]", s3.P95)
+	}
+}
+
+// TestWriteProm checks the exposition shape on a registry with labelled RED
+// names and hostile label values: one # TYPE per metric, cumulative buckets
+// closed by +Inf, escaped values.
+func TestWriteProm(t *testing.T) {
+	r := New()
+	r.Counter("rpc.server.errors|method=midas.renew").Add(3)
+	r.Counter(`weird|method=a"b\c` + "\nd").Inc()
+	r.Gauge("ext.installed").Set(7)
+	h := r.Histogram("rpc.server.ns|method=midas.renew", []int64{100, 200})
+	h.Observe(50)
+	h.Observe(150)
+	h.Observe(999)
+
+	var b strings.Builder
+	WriteProm(&b, r.Snapshot())
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE rpc_server_errors counter\n",
+		`rpc_server_errors{method="midas.renew"} 3` + "\n",
+		`weird{method="a\"b\\c\nd"} 1` + "\n",
+		"# TYPE ext_installed gauge\n",
+		"ext_installed 7\n",
+		"# TYPE rpc_server_ns histogram\n",
+		`rpc_server_ns_bucket{method="midas.renew",le="100"} 1` + "\n",
+		`rpc_server_ns_bucket{method="midas.renew",le="200"} 2` + "\n",
+		`rpc_server_ns_bucket{method="midas.renew",le="+Inf"} 3` + "\n",
+		`rpc_server_ns_sum{method="midas.renew"} 1199` + "\n",
+		`rpc_server_ns_count{method="midas.renew"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE rpc_server_ns histogram") != 1 {
+		t.Fatalf("duplicate TYPE line:\n%s", out)
+	}
+
+	// The HTTP handler reaches the same writer via ?format=prom.
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prom", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("prom content type = %q", ct)
+	}
+	if rec.Body.String() != out {
+		t.Fatal("handler exposition differs from WriteProm")
+	}
+	rec = httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("default content type = %q", ct)
+	}
+}
+
+// TestHealthValues pins the informational-value surface: values render after
+// the checks, sorted, and never flip the verdict.
+func TestHealthValues(t *testing.T) {
+	h := NewHealth()
+	h.Register("transport", func() error { return nil })
+	h.RegisterValue("trace.spans_dropped", func() int64 { return 42 })
+	h.RegisterValue("base.degraded_nodes", func() int64 { return 0 })
+	h.RegisterValue("nil-fn-ignored", nil)
+	rec := httptest.NewRecorder()
+	h.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthy handler returned %d", rec.Code)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{"transport: ok\n", "base.degraded_nodes: 0\n", "trace.spans_dropped: 42\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("healthz missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "nil-fn-ignored") {
+		t.Fatalf("nil value fn rendered:\n%s", out)
+	}
+	if got := h.Values()["trace.spans_dropped"]; got != 42 {
+		t.Fatalf("Values() = %d, want 42", got)
+	}
+}
+
+// promSampleLine matches one exposition sample: sanitized metric name,
+// optional well-formed label block, then a numeric value.
+var promSampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*")*\})? -?[0-9]+$`)
+
+// FuzzPromExposition feeds arbitrary instrument names — label separators,
+// quotes, backslashes, newlines, anything — through the exposition writer and
+// requires every emitted line to stay inside the format grammar. A name that
+// broke a line in two or leaked an unescaped quote would corrupt a scrape.
+func FuzzPromExposition(f *testing.F) {
+	f.Add("plain", "rpc.server.ns|method=midas.renew")
+	f.Add("with|label=x", `evil|k=a"b`)
+	f.Add("newline|l=a\nb", `backslash|l=a\b`)
+	f.Add("", "|=")
+	f.Add("0digit", "dots.every.where|a=1,b=2,malformed")
+	f.Fuzz(func(t *testing.T, counterName, histName string) {
+		r := New()
+		r.Counter(counterName).Inc()
+		h := r.Histogram(histName, []int64{100, 200})
+		h.Observe(150)
+		var b strings.Builder
+		WriteProm(&b, r.Snapshot())
+		out := b.String()
+		for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				rest := strings.TrimPrefix(line, "# TYPE ")
+				fields := strings.Fields(rest)
+				if len(fields) != 2 {
+					t.Fatalf("malformed TYPE line %q in:\n%s", line, out)
+				}
+				continue
+			}
+			if !promSampleLine.MatchString(line) {
+				t.Fatalf("line %q escapes the exposition grammar (inputs %q, %q):\n%s",
+					line, counterName, histName, out)
+			}
+		}
+	})
+}

@@ -4,6 +4,15 @@
 // in-memory ring with consistent snapshots, and keeps a structured event ring
 // (Eventf) for point-in-time facts that do not deserve a span.
 //
+// At fleet scale recording every span thrashes the ring, so a tracer can run
+// a head sampler (SetSampler): the keep/drop decision is made once per trace
+// at the root — a pure function of the sampler seed and the trace ID, so a
+// same-seed replay reproduces every decision bit for bit — and carried to
+// every child span as a sampled bit in the SpanContext, across goroutines and
+// all RPC fabrics. Sampled-out spans never touch the ring; a tail-keep pass
+// at End still rescues error spans and slow spans (>= SlowThreshold), so the
+// interesting traces survive any sampling rate.
+//
 // Like internal/metrics, every method is nil-safe: a nil *Tracer and a nil
 // *Span are no-ops, so libraries thread tracers through without nil checks.
 // Trace context crosses goroutines and the RPC fabric as a SpanContext value
@@ -13,9 +22,22 @@ package trace
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
+)
+
+// Sampling bits carried in SpanContext.Flags. Legacy peers that predate
+// sampling always send zero flags, which reads as "no decision present".
+const (
+	// FlagSampleKnown marks that a head-sampling decision travelled with the
+	// span context. Without it the other bits are meaningless and a sampling
+	// tracer decides locally from the trace ID.
+	FlagSampleKnown uint8 = 1 << 0
+	// FlagSampled marks the trace sampled in (record every span).
+	FlagSampled uint8 = 1 << 1
 )
 
 // SpanContext identifies a span within a trace. It is a plain value type so
@@ -24,10 +46,22 @@ import (
 type SpanContext struct {
 	TraceID string
 	SpanID  string
+	// Flags carries the head-sampling decision across process boundaries
+	// (see FlagSampleKnown). Zero — what every legacy peer sends — means no
+	// decision travelled, and the receiving tracer resolves one locally from
+	// the trace ID, which same-seed tracers resolve identically.
+	Flags uint8
 }
 
 // Valid reports whether sc refers to a real span.
 func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// SampleDecision unpacks the sampling bits: known reports whether a decision
+// travelled with the context, sampled is that decision (meaningless when
+// !known).
+func (sc SpanContext) SampleDecision() (sampled, known bool) {
+	return sc.Flags&FlagSampled != 0, sc.Flags&FlagSampleKnown != 0
+}
 
 type ctxKey struct{}
 
@@ -91,11 +125,20 @@ func (s SpanSnapshot) Duration() time.Duration {
 
 // Span is a live span handle. All methods are nil-safe no-ops.
 type Span struct {
-	tr *Tracer
+	tr    *Tracer
+	flags uint8 // sampling bits stamped on every context derived from this span
 
-	mu   sync.Mutex
-	snap SpanSnapshot
+	mu     sync.Mutex
+	lazy   bool  // sampled out: not in the ring unless tail-keep rescues it
+	slowNs int64 // tail-keep threshold captured at start (lazy spans only)
+	tags   []tagKV
+	snap   SpanSnapshot
 }
+
+// tagKV stages one Tag call. Tags live in this flat slice while the span is
+// hot and become the snapshot's map only when somebody reads it — sampled-out
+// spans, the fleet's steady state, then never pay for a map at all.
+type tagKV struct{ k, v string }
 
 // Context returns the span's identity for propagation. A nil span returns the
 // zero SpanContext.
@@ -105,7 +148,11 @@ func (s *Span) Context() SpanContext {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return SpanContext{TraceID: s.snap.TraceID, SpanID: s.snap.SpanID}
+	if s.lazy && s.snap.SpanID == "" {
+		// Sampled-out spans defer ID minting; propagation needs one now.
+		s.snap.SpanID = s.tr.lazyID()
+	}
+	return SpanContext{TraceID: s.snap.TraceID, SpanID: s.snap.SpanID, Flags: s.flags}
 }
 
 // Tag sets a key/value label on the span.
@@ -115,10 +162,12 @@ func (s *Span) Tag(key, value string) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.snap.Tags == nil {
-		s.snap.Tags = make(map[string]string)
+	if s.tags == nil {
+		// Spans carry one or two tags almost always; size for that and let
+		// append grow the rare outlier.
+		s.tags = make([]tagKV, 0, 2)
 	}
-	s.snap.Tags[key] = value
+	s.tags = append(s.tags, tagKV{key, value})
 }
 
 // Annotatef appends a timestamped note to the span.
@@ -132,21 +181,42 @@ func (s *Span) Annotatef(format string, args ...any) {
 	s.snap.Annotations = append(s.snap.Annotations, Annotation{AtUnixNano: at, Msg: fmt.Sprintf(format, args...)})
 }
 
-// End closes the span, recording err (nil for success). Ending twice keeps
-// the first end time.
+// End closes the span, recording err (nil for success). A sampled-out span
+// is discarded here unless tail-keep applies: spans that ended in error, and
+// spans at or over the sampler's SlowThreshold, always enter the ring
+// regardless of the head decision.
+//
+// A span must not be used after End returns: discarded sampled-out spans are
+// recycled, so a late Tag, Annotatef, or second End would land on an
+// unrelated span.
 func (s *Span) End(err error) {
 	if s == nil {
 		return
 	}
 	at := s.tr.nowNanos()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.snap.EndUnixNano != 0 {
+		s.mu.Unlock()
 		return
 	}
 	s.snap.EndUnixNano = at
 	if err != nil {
 		s.snap.Err = err.Error()
+	}
+	keep := s.lazy && (s.snap.Err != "" || (s.slowNs > 0 && at-s.snap.StartUnixNano >= s.slowNs))
+	if keep {
+		if s.snap.SpanID == "" {
+			s.snap.SpanID = s.tr.lazyID()
+		}
+		s.lazy = false
+	}
+	discard := s.lazy
+	s.mu.Unlock()
+	if keep {
+		s.tr.tailKept.Add(1)
+		s.tr.insert(s)
+	} else if discard {
+		lazyPool.Put(s)
 	}
 }
 
@@ -154,10 +224,11 @@ func (s *Span) snapshot() SpanSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := s.snap
-	if s.snap.Tags != nil {
-		out.Tags = make(map[string]string, len(s.snap.Tags))
-		for k, v := range s.snap.Tags {
-			out.Tags[k] = v
+	if len(s.tags) > 0 {
+		out.Tags = make(map[string]string, len(s.tags))
+		for _, t := range s.tags {
+			// Append order: a repeated key keeps its last value, map semantics.
+			out.Tags[t.k] = t.v
 		}
 	}
 	if s.snap.Annotations != nil {
@@ -172,11 +243,69 @@ const (
 	DefaultEventCapacity = 2048
 )
 
+// SamplerConfig describes head sampling with tail-keep. Rate is the fraction
+// of new traces recorded (clamped to [0,1]; 1 records everything, 0 records
+// only what tail-keep rescues). Seed feeds the decision hash so a fleet of
+// same-seed tracers — and a replay — resolves every trace identically.
+// SlowThreshold is the tail-keep latency bound: a span at or over it is
+// recorded even when its trace was sampled out (0 rescues only errors).
+type SamplerConfig struct {
+	Rate          float64
+	Seed          int64
+	SlowThreshold time.Duration
+}
+
+// sampler is the immutable compiled form, swapped atomically on the tracer.
+type sampler struct {
+	threshold uint64 // keep when mixed trace-ID hash < threshold
+	seed      uint64
+	slowNs    int64
+}
+
+// keep is the head decision: a pure function of (seed, traceID), so every
+// tracer sharing a seed — local or across the fabric — agrees, and a replay
+// reproduces the run's decisions bit for bit.
+func (s *sampler) keep(traceID string) bool {
+	switch s.threshold {
+	case math.MaxUint64:
+		return true
+	case 0:
+		return false
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(traceID); i++ {
+		h ^= uint64(traceID[i])
+		h *= prime64
+	}
+	return mix64(h^s.seed) < s.threshold
+}
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche mix so every bit
+// of the FNV hash and seed lands in the thresholded comparison.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // Tracer mints IDs, records spans and buffers events. The zero value is not
 // usable; construct with New. A nil *Tracer is a no-op everywhere.
 type Tracer struct {
+	nowFn      atomic.Pointer[func() time.Time]
+	smp        atomic.Pointer[sampler] // nil: sampling off, record everything
+	sampledOut atomic.Uint64
+	tailKept   atomic.Uint64
+	lazySeq    atomic.Uint64
+	lazySalt   uint64
+
 	mu        sync.Mutex
-	now       func() time.Time
 	rng       *rand.Rand
 	spans     []*Span // ring: oldest at spanNext when full
 	spanNext  int
@@ -194,12 +323,14 @@ type Tracer struct {
 // wall clock; deterministic tests pass a fixed seed so replayed runs mint
 // identical IDs.
 func New(seed int64) *Tracer {
-	return &Tracer{
-		now:      time.Now, //lint:allow clockcheck (SetNow overrides; wall clock is the right default)
+	t := &Tracer{
 		rng:      rand.New(rand.NewSource(seed)),
 		spanCap:  DefaultSpanCapacity,
 		eventCap: DefaultEventCapacity,
+		lazySalt: mix64(uint64(seed) ^ 0x9e3779b97f4a7c15),
 	}
+	t.storeNow(time.Now) //lint:allow clockcheck (SetNow overrides; wall clock is the right default)
+	return t
 }
 
 // SetNow replaces the tracer's time source (e.g. a manual clock's Now).
@@ -208,9 +339,37 @@ func (t *Tracer) SetNow(now func() time.Time) {
 	if t == nil || now == nil {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.now = now
+	t.storeNow(now)
+}
+
+func (t *Tracer) storeNow(fn func() time.Time) { t.nowFn.Store(&fn) }
+
+// SetSampler installs (or replaces) the head sampler. Without one — the
+// default — every span is recorded, and span contexts carry no sampling
+// decision, exactly as before sampling existed. A nil tracer is a no-op.
+func (t *Tracer) SetSampler(cfg SamplerConfig) {
+	if t == nil {
+		return
+	}
+	s := &sampler{seed: mix64(uint64(cfg.Seed)), slowNs: int64(cfg.SlowThreshold)}
+	switch {
+	case cfg.Rate >= 1:
+		s.threshold = math.MaxUint64
+	case cfg.Rate <= 0:
+		s.threshold = 0
+	default:
+		s.threshold = uint64(cfg.Rate * float64(math.MaxUint64))
+	}
+	t.smp.Store(s)
+}
+
+// SamplerStats reports how many spans the head sampler dropped at start and
+// how many of those tail-keep rescued into the ring (errors and slow spans).
+func (t *Tracer) SamplerStats() (sampledOut, tailKept uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.sampledOut.Load(), t.tailKept.Load()
 }
 
 // SetCapacity bounds the span and event rings. Values < 1 keep the current
@@ -235,16 +394,58 @@ func (t *Tracer) nowNanos() int64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	now := t.now
-	t.mu.Unlock()
-	return now().UnixNano()
+	fn := t.nowFn.Load()
+	if fn == nil {
+		return 0
+	}
+	return (*fn)().UnixNano()
+}
+
+// lazyID mints a span ID for a sampled-out span outside the shared RNG, so
+// the sampled-in ID sequence — and with it any same-seed replay of recorded
+// spans — is independent of how many sampled-out spans needed IDs.
+func (t *Tracer) lazyID() string {
+	if t == nil {
+		return ""
+	}
+	return hex16(mix64(t.lazySalt ^ t.lazySeq.Add(1)))
+}
+
+// hex16 renders v as exactly 16 lowercase hex digits — what %016x produces,
+// without fmt's formatting machinery. IDs are minted on every traced RPC, so
+// this shows up at fleet scale.
+func hex16(v uint64) string {
+	var b [16]byte
+	putHex16(b[:], v)
+	return string(b[:])
+}
+
+// hex32 renders hi then lo as 32 lowercase hex digits (%016x%016x).
+func hex32(hi, lo uint64) string {
+	var b [32]byte
+	putHex16(b[:16], hi)
+	putHex16(b[16:], lo)
+	return string(b[:])
+}
+
+func putHex16(dst []byte, v uint64) {
+	const digits = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		dst[i] = digits[v&0xf]
+		v >>= 4
+	}
 }
 
 // StartSpan opens a span named name. If ctx carries a span context the new
 // span joins that trace as a child; otherwise it roots a new trace. It
 // returns a derived context carrying the new span (for propagation) and the
 // span handle. On a nil tracer it returns (ctx, nil) — both safe to use.
+//
+// With a sampler installed the root resolves the trace's head decision and
+// every descendant inherits it from the context — including across the RPC
+// fabric. Sampled-out spans are cheap: pooled, no span ID up front, the ring is never
+// touched, and on a child the caller's context is returned as-is (the next
+// hop re-parents to the nearest sampled ancestor; End may still tail-keep).
 func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
@@ -254,24 +455,145 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 	}
 	parent, _ := FromContext(ctx)
 
-	t.mu.Lock()
+	smp := t.smp.Load()
+	if smp == nil {
+		// No sampler: record unconditionally, pass inbound flags through so
+		// an unsampled middle hop does not erase the root's decision.
+		return t.startRecorded(ctx, parent, parent.Flags, name)
+	}
+
+	sampled, known := parent.SampleDecision()
+	root := parent.TraceID == ""
+	if root {
+		// Root span: mint the trace ID first, then derive the decision from
+		// it — a same-seed replay mints the same IDs, hence decides alike.
+		parent.TraceID = t.mintTraceID()
+	}
+	if !known {
+		// No decision travelled (new root, or a parent from a legacy peer):
+		// resolve it here from the trace ID.
+		sampled = smp.keep(parent.TraceID)
+	}
+	flags := FlagSampleKnown
+	if sampled {
+		flags |= FlagSampled
+	}
+	if sampled {
+		return t.startRecorded(ctx, parent, flags, name)
+	}
+
+	sp := t.newLazy(parent, flags, name, smp.slowNs)
+	if known && parent.Flags == flags && !root {
+		// The inbound context already names this trace and carries this very
+		// decision: reuse it and keep the sampled-out fast path free of
+		// context and ID allocations.
+		return ctx, sp
+	}
+	return NewContext(ctx, sp.Context()), sp
+}
+
+// StartSpanFrom starts a span as a child of a remembered SpanContext without
+// threading a context.Context — the fan-out shape, where batch work spawns
+// one short span per item off a parent captured earlier and nothing
+// downstream needs propagation. Sampling semantics match StartSpan exactly
+// (same decisions, same RNG draws, so replays stay bit-identical); only the
+// context plumbing is skipped, which keeps the sampled-out fan-out at a
+// single allocation per span.
+func (t *Tracer) StartSpanFrom(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	smp := t.smp.Load()
+	if smp == nil {
+		return t.newRecorded(parent, parent.Flags, name)
+	}
+	sampled, known := parent.SampleDecision()
+	if parent.TraceID == "" {
+		parent.TraceID = t.mintTraceID()
+	}
+	if !known {
+		sampled = smp.keep(parent.TraceID)
+	}
+	flags := FlagSampleKnown
+	if sampled {
+		flags |= FlagSampled
+	}
+	if sampled {
+		return t.newRecorded(parent, flags, name)
+	}
+	return t.newLazy(parent, flags, name, smp.slowNs)
+}
+
+// lazyPool recycles sampled-out spans. The fleet steady state starts and
+// discards hundreds of thousands of them per renewal window; recycling keeps
+// that churn off the garbage collector. Tail-kept spans enter the ring and
+// are never pooled.
+var lazyPool = sync.Pool{New: func() any { return new(Span) }}
+
+// newLazy builds a sampled-out span from the pool and counts it.
+func (t *Tracer) newLazy(parent SpanContext, flags uint8, name string, slowNs int64) *Span {
+	t.sampledOut.Add(1)
+	sp := lazyPool.Get().(*Span)
+	sp.tr = t
+	sp.flags = flags
+	sp.lazy = true
+	sp.slowNs = slowNs
+	sp.tags = sp.tags[:0]
+	sp.snap = SpanSnapshot{
+		TraceID:       parent.TraceID,
+		ParentID:      parent.SpanID,
+		Name:          name,
+		StartUnixNano: t.nowNanos(),
+	}
+	return sp
+}
+
+// startRecorded is the record-unconditionally path: IDs from the seeded RNG,
+// a ring slot up front, flags stamped for propagation.
+func (t *Tracer) startRecorded(ctx context.Context, parent SpanContext, flags uint8, name string) (context.Context, *Span) {
+	sp := t.newRecorded(parent, flags, name)
+	return NewContext(ctx, SpanContext{TraceID: sp.snap.TraceID, SpanID: sp.snap.SpanID, Flags: flags}), sp
+}
+
+// newRecorded mints IDs and takes a ring slot — shared by the context-carried
+// and context-free start paths. Span IDs come from the seeded RNG, whose draw
+// order is part of the replay contract; recorded spans are its only consumer,
+// so the sampled-in ID sequence never shifts with the sampled-out load.
+func (t *Tracer) newRecorded(parent SpanContext, flags uint8, name string) *Span {
 	traceID := parent.TraceID
 	if traceID == "" {
-		traceID = fmt.Sprintf("%016x%016x", t.rng.Uint64(), t.rng.Uint64())
+		traceID = t.mintTraceID()
 	}
-	spanID := fmt.Sprintf("%016x", t.rng.Uint64())
-	now := t.now
+	t.mu.Lock()
+	spanID := hex16(t.rng.Uint64())
 	t.mu.Unlock()
 
-	sp := &Span{tr: t}
+	sp := &Span{tr: t, flags: flags}
 	sp.snap = SpanSnapshot{
 		TraceID:       traceID,
 		SpanID:        spanID,
 		ParentID:      parent.SpanID,
 		Name:          name,
-		StartUnixNano: now().UnixNano(),
+		StartUnixNano: t.nowNanos(),
 	}
+	t.insert(sp)
+	return sp
+}
 
+// mintTraceID mints a root trace ID from the tracer's salted sequence, not
+// the shared RNG. A root's ID must exist before the head decision hashes it,
+// so at fleet scale nearly every minted ID belongs to a trace that is then
+// sampled out — a lock-free mint keeps those off the recorded-span RNG's
+// critical section and out of its draw sequence. Same-seed replays issue the
+// same sequence values in the same order, so the IDs — and the decisions
+// derived from them — reproduce bit for bit.
+func (t *Tracer) mintTraceID() string {
+	n := t.lazySeq.Add(1)
+	return hex32(mix64(t.lazySalt^n), mix64(n+0x9e3779b97f4a7c15))
+}
+
+// insert places sp in the span ring, evicting the oldest span when full.
+func (t *Tracer) insert(sp *Span) {
 	t.mu.Lock()
 	if t.spans == nil {
 		t.spans = make([]*Span, 0, t.spanCap)
@@ -285,8 +607,6 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 	}
 	t.spanNext = (t.spanNext + 1) % t.spanCap
 	t.mu.Unlock()
-
-	return NewContext(ctx, sp.Context()), sp
 }
 
 // SpansDropped reports how many spans were evicted from the ring.
@@ -297,6 +617,18 @@ func (t *Tracer) SpansDropped() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// RingOccupancy reports how many spans the ring currently holds and its
+// capacity — the gauge pair that shows whether sampling is keeping trace
+// memory bounded.
+func (t *Tracer) RingOccupancy() (used, capacity int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans), t.spanCap
 }
 
 // Filter selects spans. Zero fields match everything; Tags entries must all

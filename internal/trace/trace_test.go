@@ -266,3 +266,212 @@ func TestDetach(t *testing.T) {
 	}
 	sp.End(nil)
 }
+
+// TestSamplerDeterministicDecisions pins the head sampler's contract: the
+// decision is a pure function of (seed, trace ID), so two tracers sharing a
+// seed resolve every trace identically, and a replay reproduces the original
+// run's recorded spans bit for bit.
+func TestSamplerDeterministicDecisions(t *testing.T) {
+	run := func() ([]SpanSnapshot, uint64) {
+		tr := New(42)
+		tr.SetNow(func() time.Time { return time.Unix(0, 777) })
+		tr.SetSampler(SamplerConfig{Rate: 0.5, Seed: 42})
+		for i := 0; i < 200; i++ {
+			ctx, root := tr.StartSpan(context.Background(), "root")
+			_, child := tr.StartSpan(ctx, "child")
+			child.End(nil)
+			root.End(nil)
+		}
+		out, _ := tr.SamplerStats()
+		return tr.Spans(Filter{}), out
+	}
+	spans1, out1 := run()
+	spans2, out2 := run()
+	if !reflect.DeepEqual(spans1, spans2) {
+		t.Fatalf("same-seed replay recorded different spans: %d vs %d", len(spans1), len(spans2))
+	}
+	if out1 != out2 {
+		t.Fatalf("same-seed replay sampled out %d vs %d", out1, out2)
+	}
+	if out1 == 0 || len(spans1) == 0 {
+		t.Fatalf("rate 0.5 should both keep and drop: kept %d, dropped %d", len(spans1), out1)
+	}
+	// Children always share the root's decision: every recorded span's trace
+	// must appear an even number of times (root + child or neither).
+	perTrace := map[string]int{}
+	for _, s := range spans1 {
+		perTrace[s.TraceID]++
+	}
+	for id, n := range perTrace {
+		if n != 2 {
+			t.Fatalf("trace %s recorded %d spans, want 2 (decision must bind the whole trace)", id, n)
+		}
+	}
+}
+
+// TestTailKeepRescuesErrorsAndSlow drives Rate 0 — head-drop everything — and
+// checks the two tail-keep escape hatches: spans that end in error, and spans
+// at or over SlowThreshold, still enter the ring.
+func TestTailKeepRescuesErrorsAndSlow(t *testing.T) {
+	tr := New(7)
+	now := time.Unix(0, 0)
+	tr.SetNow(func() time.Time { return now })
+	tr.SetSampler(SamplerConfig{Rate: 0, Seed: 7, SlowThreshold: 10 * time.Millisecond})
+
+	_, errSpan := tr.StartSpan(context.Background(), "boom")
+	errSpan.End(errors.New("lost"))
+
+	_, slowSpan := tr.StartSpan(context.Background(), "slow")
+	now = now.Add(10 * time.Millisecond)
+	slowSpan.End(nil)
+
+	_, fastSpan := tr.StartSpan(context.Background(), "fast")
+	now = now.Add(time.Millisecond)
+	fastSpan.End(nil)
+
+	spans := tr.Spans(Filter{})
+	if len(spans) != 2 {
+		t.Fatalf("ring holds %d spans, want error+slow only: %+v", len(spans), spans)
+	}
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s.Name] = true
+		if s.SpanID == "" {
+			t.Fatalf("tail-kept span %q has no ID", s.Name)
+		}
+	}
+	if !names["boom"] || !names["slow"] {
+		t.Fatalf("tail-keep kept %v, want boom and slow", names)
+	}
+	sampledOut, tailKept := tr.SamplerStats()
+	if sampledOut != 3 || tailKept != 2 {
+		t.Fatalf("stats = (out %d, kept %d), want (3, 2)", sampledOut, tailKept)
+	}
+}
+
+// TestSampledOutChildReusesContext pins the fast path: once a trace is
+// sampled out, starting a child with the decision already in the context
+// must not allocate a fresh context, and the decision must ride the flags.
+func TestSampledOutChildReusesContext(t *testing.T) {
+	tr := New(3)
+	tr.SetSampler(SamplerConfig{Rate: 0, Seed: 3})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	sc, ok := FromContext(ctx)
+	if !ok {
+		t.Fatal("root context missing span context")
+	}
+	if sampled, known := sc.SampleDecision(); sampled || !known {
+		t.Fatalf("root flags = %#x, want known+not-sampled", sc.Flags)
+	}
+	cctx, child := tr.StartSpan(ctx, "child")
+	if cctx != ctx {
+		t.Fatal("sampled-out child should return the caller's context unchanged")
+	}
+	child.End(nil)
+	root.End(nil)
+	if spans := tr.Spans(Filter{}); len(spans) != 0 {
+		t.Fatalf("sampled-out trace recorded %d spans", len(spans))
+	}
+}
+
+// TestSamplerDecisionFromLegacyPeer: a span context without sampling flags —
+// what a pre-sampling peer propagates — forces a local re-decision from the
+// trace ID, which every same-seed tracer resolves the same way.
+func TestSamplerDecisionFromLegacyPeer(t *testing.T) {
+	tr := New(11)
+	tr.SetSampler(SamplerConfig{Rate: 0.5, Seed: 99})
+	legacy := SpanContext{TraceID: "00000000000000000000000000000abc", SpanID: "0000000000000abc"}
+	ctx := NewContext(context.Background(), legacy)
+	_, sp := tr.StartSpan(ctx, "hop")
+	sampled, known := sp.Context().SampleDecision()
+	if !known {
+		t.Fatal("hop should resolve a decision for a legacy parent")
+	}
+	tr2 := New(1234) // different ID seed, same sampler seed
+	tr2.SetSampler(SamplerConfig{Rate: 0.5, Seed: 99})
+	_, sp2 := tr2.StartSpan(NewContext(context.Background(), legacy), "hop")
+	sampled2, _ := sp2.Context().SampleDecision()
+	if sampled != sampled2 {
+		t.Fatal("same sampler seed resolved one trace two ways across tracers")
+	}
+	sp.End(nil)
+	sp2.End(nil)
+}
+
+// TestRingEvictionUnderConcurrentStartAndSnapshot hammers a tiny ring from
+// parallel writers while readers snapshot, then checks the ring never grew
+// past capacity and the drop counter accounts for every eviction. Run with
+// -race, this is also the memory-model check on the sampler fast path.
+func TestRingEvictionUnderConcurrentStartAndSnapshot(t *testing.T) {
+	tr := New(5)
+	tr.SetCapacity(8, 8)
+	tr.SetSampler(SamplerConfig{Rate: 0.5, Seed: 5, SlowThreshold: time.Minute})
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ctx, root := tr.StartSpan(context.Background(), "w")
+				_, child := tr.StartSpan(ctx, "c")
+				if i%16 == 0 {
+					child.End(errors.New("boom")) // exercises tail-keep concurrently
+				} else {
+					child.End(nil)
+				}
+				root.End(nil)
+				if i%8 == 0 {
+					tr.Spans(Filter{})
+					tr.RingOccupancy()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	used, capacity := tr.RingOccupancy()
+	if capacity != 8 || used > capacity {
+		t.Fatalf("ring occupancy %d/%d, want <= 8/8", used, capacity)
+	}
+	if got := len(tr.Spans(Filter{})); got > 8 {
+		t.Fatalf("snapshot returned %d spans from an 8-slot ring", got)
+	}
+	sampledOut, tailKept := tr.SamplerStats()
+	if sampledOut == 0 || tailKept == 0 {
+		t.Fatalf("expected both sampling and tail-keep under load, got out=%d kept=%d", sampledOut, tailKept)
+	}
+}
+
+// TestSamplerKeepsRingBounded is the fleet-scale property in miniature: at a
+// 1% rate, pushing far more traces than the ring holds leaves occupancy
+// bounded while errors are never lost.
+func TestSamplerKeepsRingBounded(t *testing.T) {
+	tr := New(17)
+	tr.SetCapacity(64, 8)
+	tr.SetSampler(SamplerConfig{Rate: 0.01, Seed: 17})
+	errs := 0
+	for i := 0; i < 5000; i++ {
+		_, sp := tr.StartSpan(context.Background(), "op")
+		if i%500 == 0 {
+			errs++
+			sp.End(errors.New("boom"))
+		} else {
+			sp.End(nil)
+		}
+	}
+	used, capacity := tr.RingOccupancy()
+	if used > capacity {
+		t.Fatalf("ring occupancy %d over capacity %d", used, capacity)
+	}
+	kept := tr.Spans(Filter{})
+	errKept := 0
+	for _, s := range kept {
+		if s.Err != "" {
+			errKept++
+		}
+	}
+	_, tailKept := tr.SamplerStats()
+	if int(tailKept) < errs {
+		t.Fatalf("tail-keep rescued %d, want at least the %d errors", tailKept, errs)
+	}
+}

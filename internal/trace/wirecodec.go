@@ -5,6 +5,13 @@ import "repro/internal/wire"
 // Wire codec for SpanContext: it rides in every TCP request envelope, so
 // trace propagation costs two length-prefixed strings instead of a gob
 // descriptor.
+//
+// Flags is deliberately NOT part of this layout: old decoders read exactly
+// two strings and then the body's length prefix, so a byte inserted here
+// would be swallowed as body length and break every old peer. The sampling
+// flags instead ride at the tail of the TCP envelope, where old servers see
+// only tolerated trailing bytes (gob envelopes carry Flags as a struct field,
+// which gob versions naturally).
 
 // MarshalWire encodes sc with the wire codec.
 func (sc SpanContext) MarshalWire(e *wire.Encoder) {

@@ -248,13 +248,18 @@ func (s *TCPServer) serveWire(conn net.Conn, br *bufio.Reader) {
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
-		// Envelope layout: method · trace · body. Trailing bytes are
-		// tolerated so a future envelope may append fields.
+		// Envelope layout: method · trace · body [· flags]. The flags byte
+		// carries the trace's sampling decision; clients predating it omit
+		// it, so it is read only when present. Further trailing bytes are
+		// tolerated so a future envelope may append more fields.
 		d := wire.NewDecoder(payload)
 		method := d.String()
 		var sc trace.SpanContext
 		_ = sc.UnmarshalWire(d)
 		body := d.Bytes()
+		if d.More() {
+			sc.Flags = d.Byte()
+		}
 		if d.Err() != nil {
 			return
 		}
@@ -466,6 +471,9 @@ func (c *TCPCaller) roundTripWire(cc *tcpClientConn, fm *fabricMetrics, method s
 	e.String(method)
 	sc.MarshalWire(e)
 	e.Bytes(body)
+	// Sampling flags ride after the body, where servers predating them see
+	// only tolerated trailing bytes (the envelope's designed growth seam).
+	e.Byte(sc.Flags)
 	var lenBuf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(lenBuf[:], uint64(len(e.Data())))
 	_, err := cc.bw.Write(lenBuf[:n])

@@ -285,6 +285,38 @@ func TestTCPWireEnvelopeLayout(t *testing.T) {
 	if !bytes.Equal(rbody, want) {
 		t.Fatalf("response body drifted:\n got: % x\nwant: % x", rbody, want)
 	}
+
+	// Second request on the same connection, this time with the sampling
+	// flags byte appended after the body — the envelope's optional trailing
+	// field. New clients send it; the first request above pins that servers
+	// still accept envelopes without it.
+	e = wire.GetEncoder()
+	e.String("wecho")
+	e.String("") // trace ID
+	e.String("") // span ID
+	e.Bytes(body)
+	e.Byte(0x03) // FlagSampleKnown | FlagSampled
+	payload = append([]byte{}, e.Data()...)
+	wire.PutEncoder(e)
+	n = binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := conn.Write(append(lenBuf[:n], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	plen, err = binary.ReadUvarint(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpayload = make([]byte, plen)
+	if _, err := io.ReadFull(br, rpayload); err != nil {
+		t.Fatal(err)
+	}
+	d = wire.NewDecoder(rpayload)
+	if errText := d.String(); errText != "" {
+		t.Fatalf("flagged request remote error: %q", errText)
+	}
+	if !bytes.Equal(d.Bytes(), want) {
+		t.Fatal("flagged request got a different response body")
+	}
 }
 
 // TestWireResponseMirrorsRequestCodec pins the compatibility rule that old

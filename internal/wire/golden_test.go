@@ -55,6 +55,22 @@ func goldenMessages() map[string]wire.Marshaler {
 		"renew_ext_resp":   core.RenewExtResp{DurMillis: 45_000},
 		"renew_batch_req":  core.RenewBatchReq{Items: []core.RenewExtReq{{LeaseID: "lease-1", DurMillis: 60_000}, {LeaseID: "lease-2", DurMillis: 30_000}}},
 		"renew_batch_resp": core.RenewBatchResp{Items: []core.RenewItemResp{{DurMillis: 60_000}, {DurMillis: 0, Err: "lease: expired"}}},
+		// The observability piggyback rides as optional trailing fields: the
+		// two vectors above pin that their absence keeps the old bytes, these
+		// pin the encoding when present.
+		"renew_batch_req_obs": core.RenewBatchReq{Items: []core.RenewExtReq{{LeaseID: "lease-1", DurMillis: 60_000}}, WantObs: true},
+		"renew_batch_resp_obs": core.RenewBatchResp{
+			Items: []core.RenewItemResp{{DurMillis: 60_000}},
+			Obs: &core.ObsReport{
+				Methods: []core.ObsMethodDelta{
+					{Method: "midas.renewBatch", Count: 12, Errors: 1, SumNs: 3_456_000},
+					{Method: "plotter.draw", Count: 90, SumNs: 77_000},
+				},
+				SpansDropped: 5,
+				SampledOut:   990,
+				TailKept:     3,
+			},
+		},
 		"install_req":      core.InstallReq{Signed: signed, BaseAddr: "base-1", DurMillis: 60_000},
 		"install_resp":     core.InstallResp{LeaseID: "lease-77"},
 		"apply_batch_req":  core.ApplyBatchReq{Installs: []core.InstallReq{{Signed: signed, BaseAddr: "base-1", DurMillis: 60_000}}, Revokes: []string{"stale-ext"}},

@@ -231,6 +231,12 @@ func (d *Decoder) fail(err error) {
 // remaining reports the undecoded byte count.
 func (d *Decoder) remaining() int { return len(d.data) - d.off }
 
+// More reports whether undecoded bytes remain and no error is pending. It is
+// the hook for optional trailing fields: an unmarshaler that has read every
+// field an old encoder wrote can probe More to decode fields a newer encoder
+// appended, keeping old bytes decodable without a version bump.
+func (d *Decoder) More() bool { return d.err == nil && d.off < len(d.data) }
+
 // Uvarint reads an unsigned varint.
 func (d *Decoder) Uvarint() uint64 {
 	if d.err != nil {

@@ -81,3 +81,53 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSamplerOverhead prices the head sampler's outcomes. sampled-in is
+// the full recording path (ring slot, random IDs) and bounds what the kept 1%
+// costs. sampled-out/root still mints the trace ID — the decision hashes it —
+// and a fresh context to carry the decision downstream. sampled-out/child is
+// the fleet steady state: the decision already travels in the parent context,
+// the caller's context is reused, and the span itself comes from a pool — the
+// steady state allocates nothing. Both arms must leave the ring untouched.
+func BenchmarkSamplerOverhead(b *testing.B) {
+	b.Run("sampled-in", func(b *testing.B) {
+		tr := trace.New(1)
+		tr.SetSampler(trace.SamplerConfig{Rate: 1, Seed: 1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := tr.StartSpan(context.Background(), "bench")
+			sp.End(nil)
+		}
+	})
+	b.Run("sampled-out/root", func(b *testing.B) {
+		tr := trace.New(1)
+		tr.SetSampler(trace.SamplerConfig{Rate: 0, Seed: 1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := tr.StartSpan(context.Background(), "bench")
+			sp.End(nil)
+		}
+		b.StopTimer()
+		if out, _ := tr.SamplerStats(); out == 0 {
+			b.Fatal("sampled-out arm recorded spans")
+		}
+		if used, _ := tr.RingOccupancy(); used != 0 {
+			b.Fatalf("sampled-out arm left %d spans in the ring", used)
+		}
+	})
+	b.Run("sampled-out/child", func(b *testing.B) {
+		tr := trace.New(1)
+		tr.SetSampler(trace.SamplerConfig{Rate: 0, Seed: 1})
+		ctx, root := tr.StartSpan(context.Background(), "root")
+		root.End(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := tr.StartSpan(ctx, "bench")
+			sp.End(nil)
+		}
+		b.StopTimer()
+		if used, _ := tr.RingOccupancy(); used != 0 {
+			b.Fatalf("sampled-out arm left %d spans in the ring", used)
+		}
+	})
+}
