@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ext"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/registry"
 	"repro/internal/sandbox"
 	"repro/internal/sign"
@@ -75,6 +76,16 @@ func run() error {
 		renewTick = flag.Duration("renew-tick", 0, "renewal timer-wheel granularity (0 = lease*fraction/4)")
 		renewWrk  = flag.Int("renew-workers", 8, "concurrent renewal RPC workers")
 		wireOn    = flag.Bool("wire", true, "negotiate the binary wire codec with peers (false = gob only, for mixed fleets)")
+		ovlOn     = flag.Bool("overload", true, "enable the overload control plane (adaptive concurrency limit, priority shedding)")
+		ovlInit   = flag.Int("overload-initial", 16, "starting concurrency limit")
+		ovlMin    = flag.Int("overload-min", 4, "concurrency limit floor under sustained saturation")
+		ovlMax    = flag.Int("overload-max", 256, "concurrency limit ceiling")
+		ovlQueue  = flag.Int("overload-queue", 128, "bounded wait-queue depth per priority class")
+		ovlTarget = flag.Duration("overload-target", 5*time.Millisecond, "queue-delay target; sustained waits above it halve the limit")
+		ovlEvery  = flag.Duration("overload-interval", 100*time.Millisecond, "limit adaptation interval")
+		ovlRetry  = flag.Duration("overload-retry-after", 250*time.Millisecond, "retry-after hint attached to shed responses")
+		ovlPRate  = flag.Float64("overload-peer-rate", 50, "per-peer token refill rate (calls/s) on governed methods (0 disables)")
+		ovlPBurst = flag.Float64("overload-peer-burst", 100, "per-peer token bucket capacity")
 		smpRate   = flag.Float64("trace-sample", 1, "head-sampling rate for new traces, 0..1 (1 = record everything)")
 		smpSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "tail-keep threshold: sampled-out spans at least this slow are retained anyway")
 		exts      extFlags
@@ -208,7 +219,39 @@ func run() error {
 	if !*wireOn {
 		serveTCP = transport.ServeTCPLegacy
 	}
-	srv, err := serveTCP(*addr, transport.REDHandling(transport.TraceHandling(mux, tracer, *name), reg))
+	// The overload front sits innermost — after tracing has opened the server
+	// span, so sheds are visible in traces, but before any handler runs.
+	var handler transport.Handler = mux
+	var ovl *overload.Handler
+	if *ovlOn {
+		lim := overload.NewLimiter(overload.Config{
+			InitialLimit: *ovlInit,
+			MinLimit:     *ovlMin,
+			MaxLimit:     *ovlMax,
+			QueueDepth:   *ovlQueue,
+			Target:       *ovlTarget,
+			Interval:     *ovlEvery,
+			RetryAfter:   *ovlRetry,
+		})
+		lim.Instrument(reg)
+		var buckets *overload.Buckets
+		if *ovlPRate > 0 {
+			buckets = overload.NewBuckets(overload.BucketConfig{
+				Rate:  *ovlPRate,
+				Burst: *ovlPBurst,
+				Methods: []string{
+					core.MethodBasePost, core.MethodBaseOnService,
+					core.MethodBaseRoam, registry.MethodFind,
+				},
+				RetryAfter: *ovlRetry,
+			})
+			buckets.Instrument(reg)
+		}
+		ovl = overload.Wrap(mux, lim, buckets, tracer)
+		handler = ovl
+		base.SetOverload(ovl.Snapshot)
+	}
+	srv, err := serveTCP(*addr, transport.REDHandling(transport.TraceHandling(handler, tracer, *name), reg))
 	if err != nil {
 		return err
 	}
@@ -234,6 +277,12 @@ func run() error {
 		health.RegisterValue("base.degraded_nodes", func() int64 { return int64(len(base.Degraded())) })
 		health.RegisterValue("base.renewal_backlog", func() int64 { return int64(base.RenewalBacklog()) })
 		health.RegisterValue("trace.spans_dropped", func() int64 { return int64(tracer.SpansDropped()) })
+		if ovl != nil {
+			health.RegisterValue("overload.limit", func() int64 { return int64(ovl.Snapshot().Limit) })
+			health.RegisterValue("overload.queued", func() int64 { return int64(ovl.Snapshot().Queued) })
+			health.RegisterValue("overload.sheds", func() int64 { return int64(ovl.Snapshot().Sheds()) })
+			health.RegisterValue("overload.expired_drops", func() int64 { return int64(ovl.Snapshot().ExpiredDrops) })
+		}
 		mounts := []metrics.Mount{
 			{Pattern: "/trace", Handler: trace.Handler(tracer)},
 			{Pattern: "/events", Handler: trace.EventsHandler(tracer)},

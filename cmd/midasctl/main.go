@@ -225,6 +225,12 @@ func writeFleet(w io.Writer, resp core.FleetResp) {
 	if len(resp.Degraded) > 0 {
 		fmt.Fprintf(w, "degraded: %s\n", strings.Join(resp.Degraded, ", "))
 	}
+	if o := resp.Overload; o != nil {
+		fmt.Fprintf(w, "overload: limit=%d inflight=%d queued=%d admitted=%d\n",
+			o.Limit, o.Inflight, o.Queued, o.Admitted)
+		fmt.Fprintf(w, "          sheds keepalive=%d mutation=%d read=%d peer=%d (peers=%d) expired=%d\n",
+			o.ShedKeepalive, o.ShedMutation, o.ShedRead, o.PeerSheds, o.Peers, o.ExpiredDrops)
+	}
 	methods := append([]core.FleetMethod(nil), resp.Methods...)
 	sort.Slice(methods, func(i, j int) bool {
 		if methods[i].MeanNs != methods[j].MeanNs {

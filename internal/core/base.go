@@ -11,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/lease"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/registry"
 	"repro/internal/sandbox"
 	"repro/internal/sign"
@@ -195,6 +196,10 @@ type Base struct {
 	// fleet merges the observability deltas nodes piggyback on renewBatch
 	// responses (see fleet.go). Zero value ready; own lock, no ordering ties.
 	fleet fleetView
+
+	// overload, when set, supplies the overload-control status rendered in
+	// FleetStatus. Atomic pointer so SetOverload needs no lock-order slot.
+	overload atomic.Pointer[func() overload.Snapshot]
 }
 
 // baseMetrics counts the distribution side of adaptation, mirroring the

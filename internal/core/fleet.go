@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/transport"
 )
 
@@ -75,6 +76,11 @@ type (
 		Nodes    []FleetNode
 		Degraded []string
 		Reports  uint64
+		// Overload is the base's overload-control status (concurrency limit,
+		// queue depth, shed counters) when the control plane is enabled; nil
+		// otherwise. FleetResp travels as gob, which tolerates the field's
+		// absence in either direction, so old peers interoperate untouched.
+		Overload *overload.Snapshot
 	}
 )
 
@@ -170,7 +176,22 @@ func (b *Base) FleetStatus() FleetResp {
 	resp := b.fleet.snapshot()
 	resp.Degraded = b.Degraded()
 	sort.Strings(resp.Degraded)
+	if fn := b.overload.Load(); fn != nil {
+		s := (*fn)()
+		resp.Overload = &s
+	}
 	return resp
+}
+
+// SetOverload installs the overload-control status source rendered in
+// FleetStatus (typically overload.Handler.Snapshot). Atomic, so it can be
+// wired after the base is already serving.
+func (b *Base) SetOverload(fn func() overload.Snapshot) {
+	if fn == nil {
+		b.overload.Store(nil)
+		return
+	}
+	b.overload.Store(&fn)
 }
 
 // mergeObs folds a node's piggybacked report into the fleet view.

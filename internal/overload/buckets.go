@@ -1,0 +1,149 @@
+package overload
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+)
+
+// BucketConfig tunes the per-peer token buckets that govern the base
+// station's edge: a single chatty peer hammering pushes or lookups is rated
+// down before it can crowd the shared admission queues that every other
+// peer's keepalives share.
+type BucketConfig struct {
+	// Rate is tokens refilled per second per peer (default 10).
+	Rate float64
+	// Burst is the bucket capacity — how many calls a peer can make
+	// back-to-back after an idle stretch (default 2×Rate, min 1).
+	Burst float64
+	// Methods lists the governed method names; calls to any other method
+	// pass untouched. Empty means the buckets govern nothing.
+	Methods []string
+	// RetryAfter overrides the shed hint; zero derives it from the refill
+	// rate (time until one token accrues).
+	RetryAfter time.Duration
+	// Clock times refills (default real). On a manual clock the float
+	// arithmetic is exact-replayable: same call sequence, same sheds.
+	Clock clock.Clock
+}
+
+// bucket is one peer's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Buckets rate-limits governed methods per calling peer.
+type Buckets struct {
+	cfg     BucketConfig
+	clk     clock.Clock
+	methods map[string]bool
+
+	mu    sync.Mutex
+	peers map[string]*bucket
+	sheds uint64
+
+	mSheds *metrics.Counter
+	mPeers *metrics.Gauge
+}
+
+// NewBuckets returns a bucket set; nil is returned (and safe to use) when
+// cfg governs no methods.
+func NewBuckets(cfg BucketConfig) *Buckets {
+	if len(cfg.Methods) == 0 {
+		return nil
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 10
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 2 * cfg.Rate
+	}
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	methods := make(map[string]bool, len(cfg.Methods))
+	for _, m := range cfg.Methods {
+		methods[m] = true
+	}
+	return &Buckets{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		methods: methods,
+		peers:   make(map[string]*bucket),
+	}
+}
+
+// Instrument mirrors the shed counter and tracked-peer gauge into reg.
+// Nil-safe on both sides.
+func (b *Buckets) Instrument(reg *metrics.Registry) {
+	if b == nil || reg == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mSheds = reg.Counter("overload.peer_sheds")
+	b.mPeers = reg.Gauge("overload.peers")
+}
+
+// Admit charges one token from peer's bucket for a governed method. It
+// returns ok=true when the call may proceed; otherwise retryAfter is how long
+// until the peer's next token accrues. Ungoverned methods and anonymous
+// peers (fabrics that don't stamp an origin) always pass.
+func (b *Buckets) Admit(peer, method string) (retryAfter time.Duration, ok bool) {
+	if b == nil || peer == "" || !b.methods[method] {
+		return 0, true
+	}
+	now := b.clk.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk := b.peers[peer]
+	if bk == nil {
+		bk = &bucket{tokens: b.cfg.Burst, last: now}
+		b.peers[peer] = bk
+		b.mPeers.Set(int64(len(b.peers)))
+	}
+	if el := now.Sub(bk.last); el > 0 {
+		bk.tokens += el.Seconds() * b.cfg.Rate
+		if bk.tokens > b.cfg.Burst {
+			bk.tokens = b.cfg.Burst
+		}
+	}
+	bk.last = now
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return 0, true
+	}
+	b.sheds++
+	b.mSheds.Inc()
+	if b.cfg.RetryAfter > 0 {
+		return b.cfg.RetryAfter, false
+	}
+	need := (1 - bk.tokens) / b.cfg.Rate
+	return time.Duration(need * float64(time.Second)), false
+}
+
+// Sheds returns the cumulative per-peer shed count. Nil-safe.
+func (b *Buckets) Sheds() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sheds
+}
+
+// Peers returns how many distinct peers have buckets. Nil-safe.
+func (b *Buckets) Peers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.peers)
+}

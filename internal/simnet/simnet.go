@@ -404,10 +404,10 @@ func (c *caller) Call(ctx context.Context, to, method string, req, resp any) err
 		n.m.gobBodies.Inc()
 	}
 
-	out, herr := h.Handle(ctx, method, body)
+	out, herr := h.Handle(transport.WithPeer(ctx, c.from), method, body)
 	n.m.delivered.Inc()
 	if plan.dup {
-		n.deliverDup(to, method, body, plan.dupDelay)
+		n.deliverDup(c.from, to, method, body, plan.dupDelay)
 	}
 
 	// Response path: the reverse link's partition and faults apply, so the
@@ -472,7 +472,7 @@ func (n *Net) wait(ctx context.Context, d time.Duration) error {
 // deliverDup re-delivers a request body, modelling a retransmitted datagram:
 // immediately (back to back with the original) or after dupDelay of
 // simulated time. The duplicate's response is discarded either way.
-func (n *Net) deliverDup(to, method string, body []byte, dupDelay time.Duration) {
+func (n *Net) deliverDup(from, to, method string, body []byte, dupDelay time.Duration) {
 	redeliver := func() {
 		n.mu.Lock()
 		dst, ok := n.nodes[to]
@@ -485,7 +485,9 @@ func (n *Net) deliverDup(to, method string, body []byte, dupDelay time.Duration)
 			return // crashed or wiped between original and duplicate
 		}
 		n.m.dups.Inc()
-		_, _ = h.Handle(context.Background(), method, body)
+		// The duplicate keeps the original sender's identity: a retransmitted
+		// datagram must not slip past per-peer admission control.
+		_, _ = h.Handle(transport.WithPeer(context.Background(), from), method, body)
 	}
 	if dupDelay <= 0 {
 		redeliver()

@@ -268,9 +268,12 @@ func (s *BreakerSet) admit(to string) (probe bool, err error) {
 	}
 }
 
-// record feeds a call outcome back into the circuit.
+// record feeds a call outcome back into the circuit. A load shed
+// (ErrOverloaded) is never counted regardless of FailIf: the server answered,
+// so the link is healthy, and parking an overloaded-but-working base as
+// degraded would turn congestion into an outage.
 func (s *BreakerSet) record(to string, probe bool, callErr error) {
-	counted := callErr != nil && s.cfg.FailIf(callErr)
+	counted := callErr != nil && !errors.Is(callErr, ErrOverloaded) && s.cfg.FailIf(callErr)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := s.nodes[to]

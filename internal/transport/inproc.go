@@ -229,7 +229,7 @@ func (c *inprocCaller) Call(ctx context.Context, to, method string, req, resp an
 	if fm != nil {
 		fm.bytesOut.Add(uint64(len(body)))
 	}
-	out, herr := h.Handle(ctx, method, body)
+	out, herr := h.Handle(WithPeer(ctx, c.from), method, body)
 	if herr != nil {
 		rerr := NewRemoteError(method, herr.Error())
 		if usedWire && errors.Is(rerr, ErrDecode) {

@@ -63,6 +63,7 @@ type policyMetrics struct {
 	retries   *metrics.Counter
 	giveups   *metrics.Counter
 	successes *metrics.Counter
+	overloads *metrics.Counter
 }
 
 // NewPolicy returns a Policy with default tuning and jitter drawn from a RNG
@@ -91,6 +92,7 @@ func (p *Policy) Instrument(reg *metrics.Registry) {
 		retries:   reg.Counter("transport.retries"),
 		giveups:   reg.Counter("transport.retry_giveups"),
 		successes: reg.Counter("transport.retry_successes"),
+		overloads: reg.Counter("transport.retry_overloads"),
 	}
 }
 
@@ -174,17 +176,32 @@ func (p *Policy) Do(ctx context.Context, op func(ctx context.Context) error) err
 			}
 			return nil
 		}
-		if !retryIf(err) || ctx.Err() != nil {
+		// A load shed is always worth retrying — the server answered, it just
+		// refused the work — but only on the server's schedule: the retry-after
+		// hint replaces the local backoff verbatim, with no jitter, so a herd
+		// of shed callers returns exactly when invited instead of hammering.
+		hint, overloaded := RetryAfterHint(err)
+		if (!overloaded && !retryIf(err)) || ctx.Err() != nil {
 			return err
 		}
 		if attempt >= attempts {
 			p.m.giveups.Inc()
 			return err
 		}
+		// The jittered draw happens even when the hint overrides it, keeping
+		// the seeded RNG sequence — and with it a simulated run — reproducible
+		// whether or not a server shed along the way.
+		wait := p.jittered(delay, jitter)
+		if overloaded {
+			p.m.overloads.Inc()
+			if hint > 0 {
+				wait = hint
+			}
+		}
 		select {
 		case <-ctx.Done():
 			return err
-		case <-clk.After(p.jittered(delay, jitter)):
+		case <-clk.After(wait):
 		}
 		p.m.retries.Inc()
 		delay = time.Duration(float64(delay) * mult)

@@ -41,13 +41,17 @@ import (
 const maxEnvelope = 1 << 26
 
 // gob envelope types of the legacy protocol. Trace carries the caller's span
-// context so a trace stitches across processes; gob tolerates the field
-// being absent (older peers) or unknown (newer peers), so the envelope stays
-// wire-compatible in both directions.
+// context so a trace stitches across processes; BudgetMillis carries the
+// remaining time to the caller's deadline (0 = none) so an overloaded server
+// can drop a request whose caller already gave up — it is relative, not an
+// absolute timestamp, so clock skew between peers cannot corrupt it. gob
+// tolerates fields being absent (older peers) or unknown (newer peers), so
+// the envelope stays wire-compatible in both directions.
 type tcpRequest struct {
-	Method string
-	Body   []byte
-	Trace  trace.SpanContext
+	Method       string
+	Body         []byte
+	Trace        trace.SpanContext
+	BudgetMillis int64
 }
 
 type tcpResponse struct {
@@ -187,6 +191,10 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	peer := ""
+	if ra := conn.RemoteAddr(); ra != nil {
+		peer = ra.String()
+	}
 	if first[0] == 0x00 {
 		if s.gobOnly {
 			return // what an old binary's gob decoder does: error out, hang up
@@ -204,17 +212,17 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if sm := s.m.Load(); sm != nil {
 			sm.wireConns.Inc()
 		}
-		s.serveWire(conn, br)
+		s.serveWire(conn, br, peer)
 		return
 	}
 	if sm := s.m.Load(); sm != nil {
 		sm.gobConns.Inc()
 	}
-	s.serveGob(conn, br)
+	s.serveGob(conn, br, peer)
 }
 
 // serveGob runs the legacy gob envelope loop.
-func (s *TCPServer) serveGob(conn net.Conn, br *bufio.Reader) {
+func (s *TCPServer) serveGob(conn net.Conn, br *bufio.Reader, peer string) {
 	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	for {
@@ -222,7 +230,7 @@ func (s *TCPServer) serveGob(conn net.Conn, br *bufio.Reader) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		body, err := s.handle(req.Trace, req.Method, req.Body)
+		body, err := s.handle(req.Trace, peer, req.BudgetMillis, req.Method, req.Body)
 		resp := tcpResponse{Body: body}
 		if err != nil {
 			resp.Err = err.Error()
@@ -236,7 +244,7 @@ func (s *TCPServer) serveGob(conn net.Conn, br *bufio.Reader) {
 // serveWire runs the wire envelope loop: length-prefixed envelopes in both
 // directions, the response written through a pooled encoder straight onto
 // the socket's buffered writer — no intermediate envelope allocation.
-func (s *TCPServer) serveWire(conn net.Conn, br *bufio.Reader) {
+func (s *TCPServer) serveWire(conn net.Conn, br *bufio.Reader, peer string) {
 	bw := bufio.NewWriter(conn)
 	var lenBuf [binary.MaxVarintLen64]byte
 	for {
@@ -248,10 +256,12 @@ func (s *TCPServer) serveWire(conn net.Conn, br *bufio.Reader) {
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
-		// Envelope layout: method · trace · body [· flags]. The flags byte
-		// carries the trace's sampling decision; clients predating it omit
-		// it, so it is read only when present. Further trailing bytes are
-		// tolerated so a future envelope may append more fields.
+		// Envelope layout: method · trace · body [· flags [· budget]]. The
+		// flags byte carries the trace's sampling decision and the budget
+		// varint the remaining milliseconds to the caller's deadline; clients
+		// predating either omit them, so each is read only when present.
+		// Further trailing bytes are tolerated so a future envelope may
+		// append more fields.
 		d := wire.NewDecoder(payload)
 		method := d.String()
 		var sc trace.SpanContext
@@ -260,10 +270,14 @@ func (s *TCPServer) serveWire(conn net.Conn, br *bufio.Reader) {
 		if d.More() {
 			sc.Flags = d.Byte()
 		}
+		var budgetMillis int64
+		if d.More() {
+			budgetMillis = d.Varint()
+		}
 		if d.Err() != nil {
 			return
 		}
-		rbody, herr := s.handle(sc, method, body)
+		rbody, herr := s.handle(sc, peer, budgetMillis, method, body)
 		e := wire.GetEncoder()
 		if herr != nil {
 			e.String(herr.Error())
@@ -286,8 +300,11 @@ func (s *TCPServer) serveWire(conn net.Conn, br *bufio.Reader) {
 	}
 }
 
-// handle dispatches one request to the handler with metrics accounting.
-func (s *TCPServer) handle(sc trace.SpanContext, method string, body []byte) ([]byte, error) {
+// handle dispatches one request to the handler with metrics accounting. The
+// handler context carries the peer's address and, when the caller sent a
+// deadline budget, a matching local deadline — so the overload layer can drop
+// a request whose caller already gave up without invoking the handler.
+func (s *TCPServer) handle(sc trace.SpanContext, peer string, budgetMillis int64, method string, body []byte) ([]byte, error) {
 	sm := s.m.Load()
 	start := time.Time{}
 	if sm != nil {
@@ -295,7 +312,13 @@ func (s *TCPServer) handle(sc trace.SpanContext, method string, body []byte) ([]
 		sm.bytesIn.Add(uint64(len(body)))
 		start = time.Now() //lint:allow clockcheck (real RPC latency metric)
 	}
-	out, err := s.handler.Handle(trace.NewContext(context.Background(), sc), method, body)
+	ctx := WithPeer(trace.NewContext(context.Background(), sc), peer)
+	if budgetMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(budgetMillis)*time.Millisecond)
+		defer cancel()
+	}
+	out, err := s.handler.Handle(ctx, method, body)
 	if sm != nil {
 		sm.handleNs.Since(start)
 		if err != nil {
@@ -434,11 +457,20 @@ func (c *TCPCaller) callOnce(ctx context.Context, to, method string, req, resp a
 		}
 	}()
 	sc, _ := trace.FromContext(ctx)
+	// The deadline rides the envelope as a relative budget (remaining ms,
+	// rounded up so a tight-but-live deadline never truncates to "none"), so
+	// the server can expire queued requests without trusting clock alignment.
+	var budgetMillis int64
+	if d, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(d); remaining > 0 { //lint:allow clockcheck (real deadline budget for the wire)
+			budgetMillis = int64((remaining + time.Millisecond - 1) / time.Millisecond)
+		}
+	}
 	var callErr error
 	if cc.wire {
-		callErr = c.roundTripWire(cc, fm, method, sc, body, resp)
+		callErr = c.roundTripWire(cc, fm, method, sc, budgetMillis, body, resp)
 	} else {
-		callErr = c.roundTripGob(cc, fm, method, sc, body, resp)
+		callErr = c.roundTripGob(cc, fm, method, sc, budgetMillis, body, resp)
 	}
 	close(watchDone)
 	if callErr != nil {
@@ -466,14 +498,16 @@ func (c *TCPCaller) callOnce(ctx context.Context, to, method string, req, resp a
 // roundTripWire writes one wire envelope and reads its response. The
 // request's already-encoded body is copied into the envelope verbatim — the
 // fix for the historical gob-inside-gob double encode.
-func (c *TCPCaller) roundTripWire(cc *tcpClientConn, fm *fabricMetrics, method string, sc trace.SpanContext, body []byte, resp any) error {
+func (c *TCPCaller) roundTripWire(cc *tcpClientConn, fm *fabricMetrics, method string, sc trace.SpanContext, budgetMillis int64, body []byte, resp any) error {
 	e := wire.GetEncoder()
 	e.String(method)
 	sc.MarshalWire(e)
 	e.Bytes(body)
-	// Sampling flags ride after the body, where servers predating them see
-	// only tolerated trailing bytes (the envelope's designed growth seam).
+	// Sampling flags and the deadline budget ride after the body, where
+	// servers predating them see only tolerated trailing bytes (the
+	// envelope's designed growth seam).
 	e.Byte(sc.Flags)
+	e.Varint(budgetMillis)
 	var lenBuf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(lenBuf[:], uint64(len(e.Data())))
 	_, err := cc.bw.Write(lenBuf[:n])
@@ -520,8 +554,8 @@ func (c *TCPCaller) roundTripWire(cc *tcpClientConn, fm *fabricMetrics, method s
 }
 
 // roundTripGob writes one legacy gob envelope and reads its response.
-func (c *TCPCaller) roundTripGob(cc *tcpClientConn, fm *fabricMetrics, method string, sc trace.SpanContext, body []byte, resp any) error {
-	if err := cc.enc.Encode(&tcpRequest{Method: method, Body: body, Trace: sc}); err != nil {
+func (c *TCPCaller) roundTripGob(cc *tcpClientConn, fm *fabricMetrics, method string, sc trace.SpanContext, budgetMillis int64, body []byte, resp any) error {
+	if err := cc.enc.Encode(&tcpRequest{Method: method, Body: body, Trace: sc, BudgetMillis: budgetMillis}); err != nil {
 		return err
 	}
 	if fm != nil {

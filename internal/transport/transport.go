@@ -74,7 +74,7 @@ func NewRemoteError(method, msg string) *RemoteError {
 
 var (
 	sentinelMu sync.RWMutex
-	sentinels  = []error{ErrNoMethod, ErrDecode}
+	sentinels  = []error{ErrNoMethod, ErrDecode, ErrOverloaded}
 )
 
 // RegisterRemoteSentinel adds sentinel errors that should survive a trip over
