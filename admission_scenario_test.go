@@ -173,3 +173,88 @@ func TestScenarioReceiverPreWeaveDefense(t *testing.T) {
 		t.Errorf("%d extensions installed, want none", n)
 	}
 }
+
+// launderScenarioSource mirrors examples/advice/launder.lasm: a stored
+// secret routed through a helper method and a field into net.post. Inferred
+// caps {ctx, net, store} — declarable — but the store->net flow is not.
+const launderScenarioSource = `
+class Ext
+  field stash
+  method void advice()
+    load self
+    call fetch 0
+    pop
+    load self
+    getfield stash
+    hostcall net.post 1
+    pop
+    retv
+  end
+  method int fetch()
+    load self
+    push "secret"
+    hostcall store.get 1
+    setfield stash
+    push 0
+    ret
+  end
+end`
+
+func TestScenarioFlowAdmissionBlocksLaundering(t *testing.T) {
+	w := newSimWorld(t)
+	// The admission policy grants every capability the extension declares —
+	// only the information-flow check can refuse it.
+	base := w.newAdmissionBase("base-1", sandbox.AllowAll())
+	node := w.newNode("robot1", base.signer)
+
+	// Act one: the laundering extension declares {net, store} honestly, so
+	// the capability gate passes; the undeclared store->net flow is refused
+	// before the extension is ever signed or pushed.
+	launder := codeScenarioExt("launder", []string{"net", "store"}, launderScenarioSource)
+	err := base.base.AddExtension(launder)
+	if err == nil || !strings.Contains(err.Error(), "undeclared information flow store->net") {
+		t.Fatalf("want undeclared-flow rejection, got %v", err)
+	}
+	if got := base.counter("base.admission_flow_rejected"); got != 1 {
+		t.Errorf("base.admission_flow_rejected = %d, want 1", got)
+	}
+	if got := base.counter("base.admission_rejected"); got != 1 {
+		t.Errorf("base.admission_rejected = %d, want 1", got)
+	}
+	if _, ok := base.base.AnalysisFor("launder"); ok {
+		t.Error("rejected extension left a stored analysis report")
+	}
+
+	// Act two: a rogue (or compromised) base signs the identical bytecode
+	// with the trusted key and pushes it straight to the node. The signature
+	// verifies and the capability grant covers the demand — the receiver's
+	// own pre-weave flow analysis is the last line of defense.
+	signed, err := core.Sign(base.signer, launder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.receiver.Install(signed, "base-1", time.Minute); err == nil ||
+		!strings.Contains(err.Error(), "pre-weave flow check") {
+		t.Fatalf("want pre-weave flow rejection, got %v", err)
+	}
+	if n := len(node.receiver.Installed()); n != 0 {
+		t.Errorf("%d extensions installed, want none", n)
+	}
+
+	// Declaring the flow in the descriptor admits the same bytecode end to
+	// end: the paper's model is explicit contracts, not forbidden behavior.
+	declared := codeScenarioExt("launder-declared", []string{"net", "store"}, launderScenarioSource)
+	declared.Flows = []string{"store->net"}
+	if err := base.base.AddExtension(declared); err != nil {
+		t.Fatalf("flow-declaring extension rejected: %v", err)
+	}
+	adaptWithRetries(t, base, "robot1", "robot1")
+	waitFor(t, "launder-declared installed on robot1", func() bool {
+		for _, i := range node.receiver.Installed() {
+			if i.Name == "launder-declared" {
+				return true
+			}
+		}
+		return false
+	})
+}

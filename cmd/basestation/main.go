@@ -14,7 +14,10 @@
 // sets the anti-entropy period and -breaker-threshold/-breaker-cooldown tune
 // the per-node circuit breaker. With -admission, extensions must pass the
 // static capability analysis against the given allowlist (e.g.
-// -admission store,clock) before they join the policy set.
+// -admission store,clock) before they join the policy set; -admission-flows
+// additionally restricts the information flows their bytecode may exercise
+// (e.g. -admission-flows store->net) — flows the bytecode exercises but the
+// descriptor does not declare are refused regardless.
 package main
 
 import (
@@ -71,6 +74,7 @@ func run() error {
 		brkThresh = flag.Int("breaker-threshold", 3, "consecutive failures before a node's circuit opens")
 		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "circuit open time before a half-open probe")
 		admission = flag.String("admission", "", "comma-separated capability allowlist enforced at admission (empty = declared caps only)")
+		admFlows  = flag.String("admission-flows", "", "comma-separated information-flow allowlist, e.g. store->net,session->log (empty = any declared flow; undeclared flows are always refused)")
 		shards    = flag.Int("shards", 16, "node-table shards (parallel adapt/reconcile lock domains)")
 		renewBat  = flag.Int("renew-batch", 64, "max leases coalesced into one batched renewal RPC per node")
 		renewTick = flag.Duration("renew-tick", 0, "renewal timer-wheel granularity (0 = lease*fraction/4)")
@@ -157,6 +161,14 @@ func run() error {
 		}
 		admissionPolicy = sandbox.Allowlist(caps...)
 	}
+	var flowAllow []string
+	if *admFlows != "" {
+		for _, f := range strings.Split(*admFlows, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				flowAllow = append(flowAllow, f)
+			}
+		}
+	}
 
 	base, err := core.NewBase(core.BaseConfig{
 		Name:           *name,
@@ -169,6 +181,7 @@ func run() error {
 		Breaker:        breaker,
 		ReconcileEvery: *reconcile,
 		Admission:      admissionPolicy,
+		AdmissionFlows: flowAllow,
 		Shards:         *shards,
 		RenewTick:      *renewTick,
 		RenewBatch:     *renewBat,

@@ -267,6 +267,9 @@ func writeAnalysis(w io.Writer, rep core.AnalysisReport) {
 	if len(rep.HostCalls) > 0 {
 		fmt.Fprintf(w, "reachable host calls:  %s\n", strings.Join(rep.HostCalls, ", "))
 	}
+	if len(rep.Flows) > 0 {
+		fmt.Fprintf(w, "information flows:     %s\n", strings.Join(rep.Flows, ", "))
+	}
 	if rep.FuelBounded {
 		fmt.Fprintf(w, "fuel: bounded, <= %d steps per activation\n", rep.FuelSteps)
 	} else {

@@ -1,5 +1,6 @@
 // Command prosevet-go runs the platform's custom Go vet suite — clockcheck,
-// ctxtwin and nilsafe (see internal/lint) — over a source tree. It needs no
+// ctxtwin, nilsafe, lockorder, spanend and wirecover (see internal/lint) —
+// over a source tree. It needs no
 // module downloads or go/packages driver: files are parsed directly, so it
 // works in hermetic CI.
 //
@@ -37,7 +38,7 @@ func main() {
 		root = "."
 	}
 
-	all := []*lint.Analyzer{lint.ClockCheck, lint.CtxTwin, lint.NilSafe}
+	all := []*lint.Analyzer{lint.ClockCheck, lint.CtxTwin, lint.NilSafe, lint.LockOrder, lint.SpanEnd, lint.WireCover}
 	analyzers := all
 	if *only != "" {
 		byName := make(map[string]*lint.Analyzer)

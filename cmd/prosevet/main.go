@@ -1,18 +1,19 @@
 // Command prosevet runs the LVM static admission analyses — typed
-// verification, capability inference and cost bounding — over assembled
-// mobile-code files, the same pipeline core.Base applies before signing an
-// extension. It prints, per method, the inferred capability set, the host
-// functions reachable from it and the static fuel verdict, and exits nonzero
-// if any file is rejected.
+// verification, capability inference, information-flow (taint) analysis and
+// cost bounding — over assembled mobile-code files, the same pipeline
+// core.Base applies before signing an extension. It prints, per method, the
+// inferred capability set, the host functions reachable from it and the
+// static fuel verdict, and exits nonzero if any file is rejected.
 //
 // Usage:
 //
-//	prosevet [-q] file.lasm [file.lasm ...]
+//	prosevet [-q] [-flows] file.lasm [file.lasm ...]
 //	prosevet examples/advice/*.lasm
 //
 // Flags:
 //
-//	-q  only report rejections and warnings, not per-method detail
+//	-q      only report rejections and warnings, not per-method detail
+//	-flows  also print each method's source->sink flows with witness pc chains
 package main
 
 import (
@@ -28,14 +29,15 @@ import (
 
 func main() {
 	quiet := flag.Bool("q", false, "only report rejections and warnings")
+	flows := flag.Bool("flows", false, "print source->sink flows with witness pc chains")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: prosevet [-q] file.lasm ...")
+		fmt.Fprintln(os.Stderr, "usage: prosevet [-q] [-flows] file.lasm ...")
 		os.Exit(2)
 	}
 	failed := false
 	for _, path := range flag.Args() {
-		if err := vetFile(os.Stdout, path, *quiet); err != nil {
+		if err := vetFile(os.Stdout, path, *quiet, *flows); err != nil {
 			fmt.Fprintf(os.Stderr, "prosevet: %s: %v\n", path, err)
 			failed = true
 		}
@@ -45,7 +47,7 @@ func main() {
 	}
 }
 
-func vetFile(w *os.File, path string, quiet bool) error {
+func vetFile(w *os.File, path string, quiet, showFlows bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -79,9 +81,18 @@ func vetFile(w *os.File, path string, quiet bool) error {
 				}
 				caps = strings.Join(parts, ", ")
 			}
-			fmt.Fprintf(w, "  %s: caps {%s}  fuel %s\n", name, caps, fuel)
+			extra := ""
+			if rules := analysis.FlowRules(m.Flows); len(rules) > 0 {
+				extra = fmt.Sprintf("  flows {%s}", strings.Join(rules, ", "))
+			}
+			fmt.Fprintf(w, "  %s: caps {%s}  fuel %s%s\n", name, caps, fuel, extra)
 			for _, fn := range m.HostCalls {
 				fmt.Fprintf(w, "    hostcall %s\n", fn)
+			}
+			if showFlows {
+				for _, f := range m.Flows {
+					fmt.Fprintf(w, "    flow %s\n", f)
+				}
 			}
 		}
 	}

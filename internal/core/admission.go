@@ -49,6 +49,9 @@ type AnalysisReport struct {
 	Caps []string
 	// HostCalls lists every host function reachable from mobile advice.
 	HostCalls []string
+	// Flows lists the inferred information-flow rules ("source->sink",
+	// deduplicated, sorted) over all mobile advice.
+	Flows []string
 	// FuelBounded / FuelSteps summarise the cost analysis over all mobile
 	// advice: bounded only if every advice is, Steps is the largest bound.
 	FuelBounded bool
@@ -85,6 +88,7 @@ func AnalyzeExtension(ext Extension) (*AnalysisReport, error) {
 	rep := &AnalysisReport{Ext: ext.Name, Version: ext.Version, FuelBounded: true}
 	capSet := make(map[sandbox.Capability]bool)
 	callSet := make(map[string]bool)
+	flowSet := make(map[string]bool)
 	for i := range ext.Advices {
 		spec := &ext.Advices[i]
 		if spec.Builtin != "" {
@@ -117,6 +121,9 @@ func AnalyzeExtension(ext Extension) (*AnalysisReport, error) {
 		for _, fn := range mrep.HostCalls {
 			callSet[fn] = true
 		}
+		for _, rule := range analysis.FlowRules(mrep.Flows) {
+			flowSet[rule] = true
+		}
 		if !mrep.Fuel.Bounded {
 			rep.FuelBounded = false
 		} else if mrep.Fuel.Steps > rep.FuelSteps {
@@ -131,6 +138,10 @@ func AnalyzeExtension(ext Extension) (*AnalysisReport, error) {
 		rep.HostCalls = append(rep.HostCalls, fn)
 	}
 	sort.Strings(rep.HostCalls)
+	for rule := range flowSet {
+		rep.Flows = append(rep.Flows, rule)
+	}
+	sort.Strings(rep.Flows)
 	if !rep.FuelBounded {
 		rep.FuelSteps = 0
 	}
@@ -163,18 +174,74 @@ func analyzeAdviceCode(source string) (*analysis.MethodReport, []string, error) 
 	return mrep, full.Warnings, nil
 }
 
+// FlowError reports an information flow refused at admission: either the
+// extension's bytecode exercises a flow it does not declare, or a declared
+// flow falls outside the base operator's allowlist. It is a distinct type so
+// callers (base metrics, tests) can discriminate flow refusals from
+// capability refusals with errors.As.
+type FlowError struct {
+	Ext  string
+	Rule string // the refused "source->sink" rule
+	// Undeclared is true when the bytecode exercises a flow absent from the
+	// descriptor; false when a declared flow is refused by the allowlist.
+	Undeclared bool
+}
+
+// Error implements error.
+func (e *FlowError) Error() string {
+	if e.Undeclared {
+		return fmt.Sprintf("core: extension %q exercises undeclared information flow %s", e.Ext, e.Rule)
+	}
+	return fmt.Sprintf("core: extension %q flow %s refused by admission flow policy", e.Ext, e.Rule)
+}
+
+// CheckFlows enforces the information-flow half of admission: every flow the
+// analysis inferred must be declared in ext.Flows, and — when allow is
+// non-nil — every inferred flow must also appear in the allowlist. An empty
+// non-nil allowlist therefore refuses every extension with any inferred
+// flow. Declared-but-unexercised flows are fine: declaring generously costs
+// nothing until bytecode actually moves data.
+func CheckFlows(ext Extension, rep *AnalysisReport, allow []string) error {
+	declared := make(map[string]bool, len(ext.Flows))
+	for _, f := range ext.Flows {
+		declared[f] = true
+	}
+	var allowed map[string]bool
+	if allow != nil {
+		allowed = make(map[string]bool, len(allow))
+		for _, f := range allow {
+			allowed[f] = true
+		}
+	}
+	for _, rule := range rep.Flows {
+		if !declared[rule] {
+			return &FlowError{Ext: ext.Name, Rule: rule, Undeclared: true}
+		}
+		if allowed != nil && !allowed[rule] {
+			return &FlowError{Ext: ext.Name, Rule: rule}
+		}
+	}
+	return nil
+}
+
 // CheckAdmission decides whether an extension may be admitted: every
 // capability its advice can exercise (beyond the always-granted ones) must be
 // declared in ext.Caps — receivers grant permissions from the declaration, so
-// an under-declared extension would abort inside a node's sandbox — and, when
+// an under-declared extension would abort inside a node's sandbox — every
+// inferred information flow must be declared in ext.Flows (and pass the
+// flowAllow allowlist when one is set, nil meaning unrestricted), and, when
 // a policy is given, the policy must grant the whole demand. The error names
-// the exact missing capabilities via sandbox.Perms.Diff.
-func CheckAdmission(ext Extension, rep *AnalysisReport, policy sandbox.Policy, signer string) error {
+// the exact missing capabilities via sandbox.Perms.Diff; flow refusals are
+// *FlowError.
+func CheckAdmission(ext Extension, rep *AnalysisReport, policy sandbox.Policy, flowAllow []string, signer string) error {
 	demand := rep.Demand()
 	declared := sandbox.NewPerms(ext.Capabilities()...)
 	if missing := declared.Diff(demand); len(missing) > 0 {
 		return fmt.Errorf("core: extension %q uses undeclared capabilities %v (declares %s)",
 			ext.Name, missing, declared)
+	}
+	if err := CheckFlows(ext, rep, flowAllow); err != nil {
+		return err
 	}
 	if policy == nil {
 		return nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -120,11 +121,11 @@ func TestCheckAdmission(t *testing.T) {
 	}
 
 	// Demand covered by declaration and policy: admitted.
-	if err := CheckAdmission(ext, rep, sandbox.Allowlist(sandbox.CapClock, sandbox.CapStore), "hall-1"); err != nil {
+	if err := CheckAdmission(ext, rep, sandbox.Allowlist(sandbox.CapClock, sandbox.CapStore), nil, "hall-1"); err != nil {
 		t.Errorf("covered extension rejected: %v", err)
 	}
 	// Nil policy still requires declaration, nothing more.
-	if err := CheckAdmission(ext, rep, nil, "hall-1"); err != nil {
+	if err := CheckAdmission(ext, rep, nil, nil, "hall-1"); err != nil {
 		t.Errorf("nil-policy admission failed: %v", err)
 	}
 
@@ -134,13 +135,13 @@ func TestCheckAdmission(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := CheckAdmission(under, rep2, nil, "hall-1"); err == nil ||
+	if err := CheckAdmission(under, rep2, nil, nil, "hall-1"); err == nil ||
 		!strings.Contains(err.Error(), "undeclared capabilities [store]") {
 		t.Errorf("want undeclared-capability rejection naming store, got %v", err)
 	}
 
 	// Policy refuses part of the demand.
-	err = CheckAdmission(ext, rep, sandbox.Allowlist(sandbox.CapStore), "hall-1")
+	err = CheckAdmission(ext, rep, sandbox.Allowlist(sandbox.CapStore), nil, "hall-1")
 	if err == nil || !strings.Contains(err.Error(), "clock") {
 		t.Errorf("want policy rejection naming clock, got %v", err)
 	}
@@ -164,7 +165,7 @@ end`)
 	if len(rep.Demand()) != 0 {
 		t.Fatalf("Demand = %v, want empty", rep.Demand())
 	}
-	if err := CheckAdmission(ext, rep, sandbox.Allowlist(), "hall-1"); err != nil {
+	if err := CheckAdmission(ext, rep, sandbox.Allowlist(), nil, "hall-1"); err != nil {
 		t.Errorf("ctx/log-only extension rejected: %v", err)
 	}
 }
@@ -326,7 +327,7 @@ func BenchmarkAdmissionCheck(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := CheckAdmission(ext, rep, policy, "hall-1"); err == nil {
+		if err := CheckAdmission(ext, rep, policy, nil, "hall-1"); err == nil {
 			b.Fatal("over-privileged extension admitted")
 		}
 	}
@@ -345,6 +346,134 @@ func BenchmarkRuntimeViolation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := body.Exec(ctx); err == nil {
 			b.Fatal("gated call slipped through")
+		}
+	}
+}
+
+const launderSource = `
+class Ext
+  field stash
+  method void advice()
+    load self
+    call fetch 0
+    pop
+    load self
+    getfield stash
+    hostcall net.post 1
+    pop
+    retv
+  end
+  method int fetch()
+    load self
+    push "secret"
+    hostcall store.get 1
+    setfield stash
+    push 0
+    ret
+  end
+end`
+
+func TestAnalyzeExtensionInfersFlows(t *testing.T) {
+	ext := codeExt("launder", []string{"net", "store"}, launderSource)
+	rep, err := AnalyzeExtension(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"store->net"}; !reflect.DeepEqual(rep.Flows, want) {
+		t.Errorf("Flows = %v, want %v", rep.Flows, want)
+	}
+}
+
+func TestCheckAdmissionRefusesUndeclaredFlow(t *testing.T) {
+	// Declares both caps honestly — the old cap-set check passes — but not
+	// the store->net flow its bytecode exercises.
+	ext := codeExt("launder", []string{"net", "store"}, launderSource)
+	rep, err := AnalyzeExtension(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = CheckAdmission(ext, rep, nil, nil, "hall-1")
+	var fe *FlowError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *FlowError, got %v", err)
+	}
+	if fe.Rule != "store->net" || !fe.Undeclared {
+		t.Errorf("FlowError = %+v", fe)
+	}
+
+	// Declaring the flow admits it (nil allowlist).
+	ext.Flows = []string{"store->net"}
+	if err := CheckAdmission(ext, rep, nil, nil, "hall-1"); err != nil {
+		t.Errorf("declared flow rejected: %v", err)
+	}
+
+	// A non-nil allowlist without the rule refuses even a declared flow.
+	err = CheckAdmission(ext, rep, nil, []string{"device->store"}, "hall-1")
+	if !errors.As(err, &fe) || fe.Undeclared {
+		t.Errorf("want allowlist FlowError, got %v", err)
+	}
+	// And one including it admits.
+	if err := CheckAdmission(ext, rep, nil, []string{"store->net"}, "hall-1"); err != nil {
+		t.Errorf("allowlisted flow rejected: %v", err)
+	}
+}
+
+func TestValidateFlowRules(t *testing.T) {
+	ext := codeExt("f", []string{"store"}, auditSource)
+	ext.Flows = []string{"store->net"}
+	if err := ext.Validate(); err != nil {
+		t.Errorf("well-formed flow rule rejected: %v", err)
+	}
+	for _, bad := range []string{"", "store", "->net", "store->", "a->b->c"} {
+		ext.Flows = []string{bad}
+		if err := ext.Validate(); err == nil {
+			t.Errorf("malformed flow rule %q accepted", bad)
+		}
+	}
+}
+
+const dispatchBenchSource = `
+class Ext
+  method void advice()
+    push "k"
+    hostcall store.get 1
+    pop
+  end
+end`
+
+// BenchmarkHostDispatchChecked measures one advice execution whose store.get
+// goes through the sandbox capability gate: permission lookup, audit mutex,
+// call counter, then the inner host.
+func BenchmarkHostDispatchChecked(b *testing.B) {
+	host := sandbox.NewHost(hostEcho{}, sandbox.NewPerms(sandbox.CapStore))
+	body, err := CompileAdvice(dispatchBenchSource, host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := &aop.Context{Sig: aop.Signature{Class: "Motor", Method: "rotate"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := body.Exec(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostDispatchProven measures the same advice after admission
+// analysis proved the capability check dead: the interpreter dispatches
+// store.get straight to the inner host, skipping the gate entirely.
+func BenchmarkHostDispatchProven(b *testing.B) {
+	host := sandbox.NewHost(hostEcho{}, sandbox.NewPerms(sandbox.CapStore))
+	host.Prove("store.get")
+	body, err := CompileAdvice(dispatchBenchSource, host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := &aop.Context{Sig: aop.Signature{Class: "Motor", Method: "rotate"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := body.Exec(ctx); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -96,6 +97,13 @@ type BaseConfig struct {
 	// it is ever signed, pushed or woven anywhere. Nil skips the policy check
 	// but still rejects extensions using capabilities they do not declare.
 	Admission sandbox.Policy
+	// AdmissionFlows, when non-nil, is the allowlist of information-flow
+	// rules ("source->sink") the base operator permits: an extension whose
+	// bytecode exercises a flow outside the list is rejected at admission,
+	// counted by base.admission_flow_rejected. Nil allows any flow the
+	// extension declares; flows the bytecode exercises but the descriptor
+	// does not declare are always rejected, allowlist or not.
+	AdmissionFlows []string
 	// Shards splits the base's node table by consistent hash so adapt,
 	// renewal and reconcile traffic for different nodes proceeds under
 	// different locks, and reconcile rounds run one goroutine per shard
@@ -205,16 +213,17 @@ type Base struct {
 // baseMetrics counts the distribution side of adaptation, mirroring the
 // distribution log; all fields are nil-safe no-ops until Instrument.
 type baseMetrics struct {
-	adapts      *metrics.Counter
-	pushes      *metrics.Counter
-	pushErrors  *metrics.Counter
-	admRejected *metrics.Counter
-	departures  *metrics.Counter
-	revokes     *metrics.Counter
-	roamHints   *metrics.Counter
-	degrades    *metrics.Counter
-	recovers    *metrics.Counter
-	journalErrs *metrics.Counter
+	adapts          *metrics.Counter
+	pushes          *metrics.Counter
+	pushErrors      *metrics.Counter
+	admRejected     *metrics.Counter
+	admFlowRejected *metrics.Counter
+	departures      *metrics.Counter
+	revokes         *metrics.Counter
+	roamHints       *metrics.Counter
+	degrades        *metrics.Counter
+	recovers        *metrics.Counter
+	journalErrs     *metrics.Counter
 	// Reconciliation drift counters: how much anti-entropy work each round
 	// found (re-pushed missing extensions, revoked orphans, adopted leases).
 	reconRounds   *metrics.Counter
@@ -251,6 +260,7 @@ func (b *Base) Instrument(reg *metrics.Registry) {
 		pushes:           reg.Counter("base.pushes"),
 		pushErrors:       reg.Counter("base.push_errors"),
 		admRejected:      reg.Counter("base.admission_rejected"),
+		admFlowRejected:  reg.Counter("base.admission_flow_rejected"),
 		departures:       reg.Counter("base.departures"),
 		revokes:          reg.Counter("base.revokes"),
 		roamHints:        reg.Counter("base.roam_hints"),
@@ -449,8 +459,8 @@ func (b *Base) admit(ext Extension) error {
 		if err != nil {
 			return err
 		}
-		sp.Annotatef("inferred caps %v", rep.Caps)
-		if err := CheckAdmission(ext, rep, b.cfg.Admission, b.cfg.Signer.Name); err != nil {
+		sp.Annotatef("inferred caps %v flows %v", rep.Caps, rep.Flows)
+		if err := CheckAdmission(ext, rep, b.cfg.Admission, b.cfg.AdmissionFlows, b.cfg.Signer.Name); err != nil {
 			return err
 		}
 		b.mu.Lock()
@@ -460,8 +470,13 @@ func (b *Base) admit(ext Extension) error {
 	}()
 	sp.End(err)
 	if err != nil {
+		var fe *FlowError
+		isFlow := errors.As(err, &fe)
 		b.mu.Lock()
 		b.m.admRejected.Inc()
+		if isFlow {
+			b.m.admFlowRejected.Inc()
+		}
 		b.mu.Unlock()
 		b.log("admit-reject", "", ext.Name, err.Error())
 	}
@@ -870,8 +885,11 @@ func (b *Base) pushExtension(ctx context.Context, n *adaptedNode, ext Extension)
 		sp.End(err)
 		return fmt.Errorf("core: push %q to %s: %w", ext.Name, n.addr, err)
 	}
-	sp.End(nil)
+	// Capture the identity before End: a sampled-out span is recycled there,
+	// and Context on the recycled handle would mint an ID for whatever span
+	// owns the pooled storage next.
 	pushSC := sp.Context()
+	sp.End(nil)
 	b.log("push", n.id, ext.Name, "")
 
 	// Keep the extension alive until the node leaves our space.

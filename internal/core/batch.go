@@ -322,6 +322,10 @@ func (b *Base) applyToNode(ctx context.Context, n *adaptedNode, installs []Exten
 		singleton()
 		return installErrs, revokeErrs
 	}
+	// Capture the identity before End: a sampled-out span is recycled there,
+	// and Context on the recycled handle would mint an ID for whatever span
+	// owns the pooled storage next.
+	batchSC := sp.Context()
 	sp.End(err)
 	if err != nil {
 		werr := fmt.Errorf("core: apply batch to %s: %w", n.addr, err)
@@ -334,7 +338,6 @@ func (b *Base) applyToNode(ctx context.Context, n *adaptedNode, installs []Exten
 		return installErrs, revokeErrs
 	}
 	m.pushBatches.Inc()
-	batchSC := sp.Context()
 
 	for i, ext := range sent {
 		if i >= len(resp.Installs) {

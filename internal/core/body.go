@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/aop"
@@ -224,4 +225,17 @@ func (h *ctxHost) HostCall(name string, args []lvm.Value) (lvm.Value, error) {
 	return h.inner.HostCall(name, args)
 }
 
-var _ lvm.Host = (*ctxHost)(nil)
+// Prechecked implements lvm.PrecheckedHost. ctx.* calls are served locally
+// (and need the current join point, so they never bypass this layer); every
+// other function delegates the proof query to the inner host.
+func (h *ctxHost) Prechecked(name string) lvm.Host {
+	if strings.HasPrefix(name, "ctx.") {
+		return nil
+	}
+	if ph, ok := h.inner.(lvm.PrecheckedHost); ok {
+		return ph.Prechecked(name)
+	}
+	return nil
+}
+
+var _ lvm.PrecheckedHost = (*ctxHost)(nil)

@@ -9,6 +9,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"repro/internal/aop"
 	"repro/internal/sandbox"
@@ -73,7 +74,14 @@ type Extension struct {
 	Advices  []AdviceSpec
 	Requires []string // implicit extensions (builtin bundle names) to auto-install
 	Caps     []string // requested sandbox capabilities
-	Meta     map[string]string
+	// Flows declares the information flows the extension's advice is
+	// permitted to exercise, as "source->sink" capability rules (e.g.
+	// "store->net"). Admission infers the actual flows from the bytecode and
+	// refuses any inferred flow not declared here — holding both the store
+	// and net capabilities does not imply permission to move data from one
+	// to the other.
+	Flows []string
+	Meta  map[string]string
 }
 
 // Validate checks structural well-formedness before signing or installing.
@@ -100,7 +108,20 @@ func (e *Extension) Validate() error {
 			return fmt.Errorf("core: extension %q advice %d: exactly one of Builtin or Code required", e.Name, i)
 		}
 	}
+	for _, f := range e.Flows {
+		if !validFlowRule(f) {
+			return fmt.Errorf("core: extension %q: malformed flow rule %q (want \"source->sink\")", e.Name, f)
+		}
+	}
 	return nil
+}
+
+// validFlowRule checks the "source->sink" shape with non-empty capability
+// names on both sides.
+func validFlowRule(rule string) bool {
+	src, sink, ok := strings.Cut(rule, "->")
+	return ok && src != "" && sink != "" &&
+		!strings.Contains(src, ">") && !strings.Contains(sink, ">")
 }
 
 // Capabilities converts the requested capability names.

@@ -332,7 +332,17 @@ func (r *Receiver) install(ctx context.Context, ext Extension, signer, baseAddr 
 		return "", "", fmt.Errorf("core: extension %q advice can exercise capabilities %v beyond grant %s",
 			ext.Name, missing, perms)
 	}
+	// Same defense for information flows: the base refused undeclared flows
+	// at admission, but the receiver re-derives them so a rogue base cannot
+	// push laundering bytecode under an innocent declaration.
+	if err := CheckFlows(ext, rep, nil); err != nil {
+		return "", "", fmt.Errorf("core: extension %q rejected by pre-weave flow check: %w", ext.Name, err)
+	}
 	gated := sandbox.NewHost(r.cfg.Host, perms)
+	// Every reachable host call has now been checked against the grant, so
+	// the per-dispatch capability gate is provably dead for exactly those
+	// functions — let the sandbox dispatch them straight through.
+	gated.Prove(rep.HostCalls...)
 	env := &Env{NodeName: r.cfg.NodeName, BaseAddr: baseAddr, Host: gated, Extras: r.cfg.Extras}
 
 	aspect := &aop.Aspect{Name: ext.Name, Priority: ext.Priority}

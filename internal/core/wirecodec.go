@@ -43,6 +43,7 @@ func (x Extension) MarshalWire(e *wire.Encoder) {
 	}
 	e.StringSlice(x.Requires)
 	e.StringSlice(x.Caps)
+	e.StringSlice(x.Flows)
 	e.StringMap(x.Meta)
 }
 
@@ -64,6 +65,7 @@ func (x *Extension) UnmarshalWire(d *wire.Decoder) error {
 	}
 	x.Requires = d.StringSlice()
 	x.Caps = d.StringSlice()
+	x.Flows = d.StringSlice()
 	x.Meta = d.StringMap()
 	return d.Err()
 }

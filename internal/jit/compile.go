@@ -323,6 +323,14 @@ func (m *Machine) compileInstr(c *compiled, pc int, ins lvm.Instr) (stepFn, erro
 	case lvm.OpHostCall:
 		name := ins.Sym
 		argc := ins.B
+		// Devirtualise statically-proven calls at compile time: the closure
+		// binds the unchecked inner host directly and the per-dispatch
+		// capability gate disappears from the compiled code. Proofs must be
+		// established (sandbox.Host.Prove) before the method is compiled.
+		var direct lvm.Host
+		if ph, ok := m.Host.(lvm.PrecheckedHost); ok {
+			direct = ph.Prechecked(name)
+		}
 		return func(e *env, fr *frame, depth int) (int, error) {
 			n := len(fr.stack)
 			if n < argc {
@@ -331,10 +339,14 @@ func (m *Machine) compileInstr(c *compiled, pc int, ins lvm.Instr) (stepFn, erro
 			args := make([]lvm.Value, argc)
 			copy(args, fr.stack[n-argc:])
 			fr.stack = fr.stack[:n-argc]
-			if e.m.Host == nil {
+			host := direct
+			if host == nil {
+				host = e.m.Host
+			}
+			if host == nil {
 				return 0, lvm.Throwf("no host environment for %s", name)
 			}
-			r, err := e.m.Host.HostCall(name, args)
+			r, err := host.HostCall(name, args)
 			if err != nil {
 				return 0, err
 			}

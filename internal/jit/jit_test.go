@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/aop"
 	"repro/internal/lvm"
+	"repro/internal/sandbox"
 	"repro/internal/weave"
 )
 
@@ -431,5 +432,53 @@ func TestUnknownMethodCall(t *testing.T) {
 	m := newRobotMachine(t, nil)
 	if _, err := m.Call("Robot", "fly", nil); err == nil {
 		t.Fatal("want error for unknown method")
+	}
+}
+
+func TestHostCallCompiledPrecheckedFastPath(t *testing.T) {
+	prog := lvm.MustAssemble(`
+class App
+  method int probe()
+    push "k"
+    hostcall store.put 1
+    ret
+  end
+end`)
+	inner := lvm.HostMap{"store.put": func(args []lvm.Value) (lvm.Value, error) {
+		return lvm.Int(42), nil
+	}}
+	gated := sandbox.NewHost(inner, sandbox.NewPerms(sandbox.CapStore))
+	gated.Prove("store.put")
+	m := NewMachine(prog, nil, gated)
+	v, err := m.Call("App", "probe", nil)
+	if err != nil || v.I != 42 {
+		t.Fatalf("probe = %v, %v", v, err)
+	}
+	// The compiled closure bound the inner host directly: the sandbox's
+	// checked-path counter never moved.
+	if gated.CallCount("store.put") != 0 {
+		t.Error("compiled dispatch took the checked path for a proven call")
+	}
+}
+
+func TestHostCallCompiledUnprovenStaysChecked(t *testing.T) {
+	prog := lvm.MustAssemble(`
+class App
+  method int probe()
+    push "k"
+    hostcall store.put 1
+    ret
+  end
+end`)
+	inner := lvm.HostMap{"store.put": func(args []lvm.Value) (lvm.Value, error) {
+		return lvm.Int(7), nil
+	}}
+	gated := sandbox.NewHost(inner, sandbox.NewPerms(sandbox.CapStore))
+	m := NewMachine(prog, nil, gated)
+	if _, err := m.Call("App", "probe", nil); err != nil {
+		t.Fatal(err)
+	}
+	if gated.CallCount("store.put") != 1 {
+		t.Error("unproven call must go through the capability gate")
 	}
 }

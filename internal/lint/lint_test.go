@@ -247,3 +247,218 @@ func TestHasCtxTwinIndex(t *testing.T) {
 		t.Error("undeclared names must not qualify")
 	}
 }
+
+func TestLockOrderFlagsInversions(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/base.go": `package core
+type Base struct{ nodes *nodeTable }
+func (b *Base) good(addr string) {
+	s := b.nodes.shard(addr)
+	s.mu.Lock()
+	b.mu.Lock() // shard then b.mu: the documented order
+	b.mu.Unlock()
+	s.mu.Unlock()
+}
+func (b *Base) inverted(addr string) {
+	b.mu.Lock()
+	s := b.nodes.shard(addr)
+	s.mu.Lock() // b.mu then shard: inversion
+	s.mu.Unlock()
+	b.mu.Unlock()
+}
+func (b *Base) released(addr string) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	s := b.nodes.shard(addr)
+	s.mu.Lock() // b.mu already released: fine
+	s.mu.Unlock()
+}`,
+	}, LockOrder)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "shard.mu") {
+		t.Fatalf("got %v, want exactly the inverted acquisition flagged", messages(diags))
+	}
+}
+
+func TestLockOrderFlagsTableCallUnderConfigLock(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/base.go": `package core
+type Base struct{ nodes *nodeTable }
+func (b *Base) bad() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a, d := b.nodes.counts() // takes every shard lock under b.mu
+	_, _ = a, d
+}
+func (b *Base) good() {
+	a, d := b.nodes.counts()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, _ = a, d
+}
+func (b *Base) accessor(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_ = b.nodes.shard(addr) // shard() itself does not lock
+}`,
+	}, LockOrder)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "b.mu is held") {
+		t.Fatalf("got %v, want exactly the counts-under-b.mu call flagged", messages(diags))
+	}
+}
+
+func TestLockOrderDoubleShardAndSched(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/base.go": `package core
+type Base struct{ nodes *nodeTable }
+func (b *Base) twoShards(x, y string) {
+	s1 := b.nodes.shard(x)
+	s2 := b.nodes.shard(y)
+	s1.mu.Lock()
+	s2.mu.Lock() // two shard locks at once
+	s2.mu.Unlock()
+	s1.mu.Unlock()
+}
+func (b *Base) schedUnderShard(addr string) {
+	s := b.nodes.shard(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.sched.Cancel(addr, 1) // ascending: allowed
+}`,
+		"internal/lease/scheduler.go": `package lease
+type Scheduler struct{}
+func (s *Scheduler) ok() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}`,
+	}, LockOrder)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "shard.mu while shard.mu") {
+		t.Fatalf("got %v, want exactly the double shard lock flagged", messages(diags))
+	}
+}
+
+func TestLockOrderClosureGetsFreshHeldSet(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/base.go": `package core
+type Base struct{ nodes *nodeTable }
+func (b *Base) spawn(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		s := b.nodes.shard(addr)
+		s.mu.Lock() // runs after spawn returns; not under b.mu
+		s.mu.Unlock()
+	}()
+}`,
+	}, LockOrder)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want none: goroutine bodies do not inherit held locks", messages(diags))
+	}
+}
+
+func TestSpanEndFlagsUseAfterEnd(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/push.go": `package core
+func (b *Base) push() {
+	ctx, sp := b.tracer.StartSpan(b.ctx, "push")
+	sp.Tag("k", "v")
+	sp.End(nil)
+	sc := sp.Context() // use after the span went back to the pool
+	_, _ = ctx, sc
+}`,
+	}, SpanEnd)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "after End") {
+		t.Fatalf("got %v, want exactly the post-End Context call flagged", messages(diags))
+	}
+}
+
+func TestSpanEndAllowsDeferAndReassignment(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/push.go": `package core
+func (b *Base) deferred() {
+	_, sp := b.tracer.StartSpan(b.ctx, "op")
+	defer sp.End(nil)
+	sp.Tag("k", "v") // defer never starts a dead region
+}
+func (b *Base) reassigned() {
+	sp := b.tracer.StartSpanFrom(parent, "a")
+	sp.End(nil)
+	sp = b.tracer.StartSpanFrom(parent, "b")
+	sp.Tag("k", "v") // fresh span, live again
+	sp.End(nil)
+}
+func (b *Base) branches(fail bool) {
+	_, sp := b.tracer.StartSpan(b.ctx, "op")
+	if fail {
+		sp.End(errBoom)
+		return
+	}
+	sp.End(nil)
+}
+func notASpan() {
+	w := newWindow()
+	w.End(5)
+	w.Len() // End on a non-span type: exempt
+}`,
+	}, SpanEnd)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want none", messages(diags))
+	}
+}
+
+func TestWireCoverFlagsFieldDrift(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/codec.go": `package core
+type Rec struct {
+	ID   string
+	Name string
+	Seq  int
+}
+func (r Rec) MarshalWire(e *Encoder) {
+	e.String(r.ID)
+	e.String(r.Name)
+	e.Varint(int64(r.Seq))
+}
+func (r *Rec) UnmarshalWire(d *Decoder) error {
+	r.ID = d.String()
+	r.Seq = int(d.Varint())
+	return d.Err()
+}`,
+	}, WireCover)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "never reads field Name") {
+		t.Fatalf("got %v, want exactly the missing Name read flagged", messages(diags))
+	}
+}
+
+func TestWireCoverFlagsMissingPairAndAcceptsParity(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"internal/core/codec.go": `package core
+type Half struct{ ID string }
+func (h Half) MarshalWire(e *Encoder) { e.String(h.ID) }
+type Full struct {
+	ID    string
+	Items []Item
+}
+func (f Full) MarshalWire(e *Encoder) {
+	e.String(f.ID)
+	e.Len(len(f.Items))
+	for _, it := range f.Items {
+		it.MarshalWire(e)
+	}
+}
+func (f *Full) UnmarshalWire(d *Decoder) error {
+	f.ID = d.String()
+	if n := d.Len(); n > 0 {
+		f.Items = make([]Item, n)
+		for i := range f.Items {
+			if err := f.Items[i].UnmarshalWire(d); err != nil {
+				return err
+			}
+		}
+	}
+	return d.Err()
+}`,
+	}, WireCover)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no UnmarshalWire") {
+		t.Fatalf("got %v, want exactly the unpaired Half flagged", messages(diags))
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SpanEnd flags use of a trace span after its End call. Span.End returns the
+// span's annotation/tag storage to a sync.Pool, so any later Tag, Annotatef
+// or Context call races with the pool's next owner and can stamp data onto an
+// unrelated request's span. The check is block-local: within one statement
+// list, once an ident bound to a StartSpan/StartSpanFrom result has had a
+// non-deferred `.End(...)` statement, any later statement in that list that
+// mentions the ident is flagged (a reassignment of the ident clears it).
+// `defer sp.End(err)` is the idiomatic pattern and never starts a dead
+// region.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "disallow use of a pooled trace span after End returns it to the pool",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		spans := spanIdents(f.AST)
+		if len(spans) == 0 {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkSpanBlock(p, block, spans)
+			return true
+		})
+	}
+}
+
+// spanIdents collects the names of variables assigned from a
+// StartSpan/StartSpanFrom call anywhere in the file. Name-based matching is
+// deliberately file-wide: a span variable keeps meaning a span in every
+// block it flows through.
+func spanIdents(f *ast.File) map[string]bool {
+	spans := make(map[string]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isStartSpanCall(call) {
+			return true
+		}
+		// StartSpan returns (ctx, *Span); StartSpanFrom returns *Span. The
+		// span is always the last value on the left.
+		if id, ok := assign.Lhs[len(assign.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+			spans[id.Name] = true
+		}
+		return true
+	})
+	return spans
+}
+
+func isStartSpanCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "StartSpan" || fun.Sel.Name == "StartSpanFrom"
+	case *ast.Ident:
+		return fun.Name == "StartSpan" || fun.Name == "StartSpanFrom"
+	}
+	return false
+}
+
+// checkSpanBlock scans one statement list. ended maps span names to true
+// once a non-deferred End statement for them has executed.
+func checkSpanBlock(p *Pass, block *ast.BlockStmt, spans map[string]bool) {
+	ended := make(map[string]bool)
+	for _, stmt := range block.List {
+		if name, ok := spanEndStmt(stmt); ok && spans[name] {
+			ended[name] = true
+			continue
+		}
+		if len(ended) == 0 {
+			continue
+		}
+		// A reassignment gives the name a fresh span; it is live again.
+		if assign, ok := stmt.(*ast.AssignStmt); ok {
+			for _, lhs := range assign.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && ended[id.Name] {
+					delete(ended, id.Name)
+				}
+			}
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closures may run before the End executed
+			}
+			id, ok := n.(*ast.Ident)
+			if ok && ended[id.Name] {
+				p.Reportf(id.Pos(), "span %s used after End returned it to the pool", id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// spanEndStmt reports whether stmt is a plain `x.End(...)` expression
+// statement, returning the receiver name.
+func spanEndStmt(stmt ast.Stmt) (string, bool) {
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"unicode"
+	"unicode/utf8"
+)
+
+// WireCover checks MarshalWire/UnmarshalWire pairs for field parity. The wire
+// codec has no field tags or self-description: both sides must touch exactly
+// the same fields in the same order, and a field added to one method but not
+// the other silently shifts every later value in the stream. For each type in
+// a package, the analyzer collects the exported receiver fields each method
+// mentions and reports the difference; it also flags a type that has one
+// method of the pair but not the other.
+var WireCover = &Analyzer{
+	Name: "wirecover",
+	Doc:  "require MarshalWire and UnmarshalWire of a type to cover the same exported fields",
+	Run:  runWireCover,
+}
+
+type wirePair struct {
+	marshal, unmarshal *ast.FuncDecl
+}
+
+func runWireCover(p *Pass) {
+	pairs := make(map[string]*wirePair)
+	order := []string{}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			if fn.Name.Name != "MarshalWire" && fn.Name.Name != "UnmarshalWire" {
+				continue
+			}
+			recv := recvTypeName(fn.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			pair := pairs[recv]
+			if pair == nil {
+				pair = &wirePair{}
+				pairs[recv] = pair
+				order = append(order, recv)
+			}
+			if fn.Name.Name == "MarshalWire" {
+				pair.marshal = fn
+			} else {
+				pair.unmarshal = fn
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, recv := range order {
+		pair := pairs[recv]
+		switch {
+		case pair.marshal == nil:
+			p.Reportf(pair.unmarshal.Name.Pos(), "%s has UnmarshalWire but no MarshalWire; the codec pair must live together", recv)
+		case pair.unmarshal == nil:
+			p.Reportf(pair.marshal.Name.Pos(), "%s has MarshalWire but no UnmarshalWire; the codec pair must live together", recv)
+		default:
+			wrote := receiverFields(pair.marshal)
+			read := receiverFields(pair.unmarshal)
+			for _, field := range missingFields(wrote, read) {
+				p.Reportf(pair.unmarshal.Name.Pos(), "%s.UnmarshalWire never reads field %s written by MarshalWire", recv, field)
+			}
+			for _, field := range missingFields(read, wrote) {
+				p.Reportf(pair.marshal.Name.Pos(), "%s.MarshalWire never writes field %s read by UnmarshalWire", recv, field)
+			}
+		}
+	}
+}
+
+// receiverFields collects the exported fields the method mentions through its
+// receiver ident (r.Field, including r.Field[i] and nested uses).
+func receiverFields(fn *ast.FuncDecl) map[string]bool {
+	fields := make(map[string]bool)
+	if fn.Body == nil || len(fn.Recv.List[0].Names) == 0 {
+		return fields
+	}
+	recv := fn.Recv.List[0].Names[0].Name
+	if recv == "_" {
+		return fields
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != recv {
+			return true
+		}
+		if r, _ := utf8.DecodeRuneInString(sel.Sel.Name); unicode.IsUpper(r) {
+			fields[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return fields
+}
+
+// missingFields returns the members of want absent from got, sorted.
+func missingFields(want, got map[string]bool) []string {
+	var out []string
+	for field := range want {
+		if !got[field] {
+			out = append(out, field)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

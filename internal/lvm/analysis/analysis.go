@@ -9,12 +9,14 @@ import (
 )
 
 // MethodReport is the admission verdict for one method: the host functions
-// and capabilities reachable from it (transitively through calls), its static
-// fuel bound, and the pcs of dead instructions.
+// and capabilities reachable from it (transitively through calls), the
+// source→sink information flows its data can take, its static fuel bound,
+// and the pcs of dead instructions.
 type MethodReport struct {
 	Method      string // "Class.method"
 	HostCalls   []string
 	Caps        []sandbox.Capability
+	Flows       []Flow
 	Fuel        Fuel
 	Unreachable []int
 }
@@ -38,7 +40,10 @@ type analyzer struct {
 	p       *lvm.Program
 	types   map[*lvm.Method]*TypeInfo
 	targets map[*lvm.Method]map[int][]*lvm.Method
+	byName  map[string]*lvm.Method
 	cost    *costState
+	taintW  *taintWorld
+	reach   map[*lvm.Method][]bool
 }
 
 // newAnalyzer type-checks every method of p (rejecting the program on the
@@ -48,6 +53,7 @@ func newAnalyzer(p *lvm.Program) (*analyzer, error) {
 		p:       p,
 		types:   make(map[*lvm.Method]*TypeInfo),
 		targets: make(map[*lvm.Method]map[int][]*lvm.Method),
+		byName:  make(map[string]*lvm.Method),
 	}
 	for _, cls := range sortedClassNames(p) {
 		c := p.Classes[cls]
@@ -58,6 +64,7 @@ func newAnalyzer(p *lvm.Program) (*analyzer, error) {
 				return nil, fmt.Errorf("analysis: %s: %w", m, err)
 			}
 			a.types[m] = ti
+			a.byName[cls+"."+name] = m
 		}
 	}
 	for m, ti := range a.types {
@@ -92,6 +99,9 @@ func AnalyzeProgram(p *lvm.Program) (*Report, error) {
 			m := c.Methods[name]
 			mr := &MethodReport{Method: cls + "." + name}
 			mr.HostCalls, mr.Caps = a.InferCaps(m)
+			if mr.Flows, err = a.Flows(m); err != nil {
+				return nil, err
+			}
 			mr.Fuel = a.MethodFuel(m)
 			mr.Unreachable = a.types[m].CFG.Unreachable()
 			for _, pc := range mr.Unreachable {

@@ -13,17 +13,19 @@ import (
 
 const adviceDir = "../../../examples/advice"
 
-// golden pins the inferred capability set and fuel verdict of every example
-// advice. A new .lasm under examples/advice without an entry here fails the
-// test, so the goldens cannot silently rot.
+// golden pins the inferred capability set, fuel verdict, and information
+// flows of every example advice. A new .lasm under examples/advice without an
+// entry here fails the test, so the goldens cannot silently rot.
 var golden = map[string]struct {
 	caps    []sandbox.Capability
 	bounded bool
+	flows   []string
 }{
 	"movelimit.lasm":  {caps: []sandbox.Capability{sandbox.CapCtx}, bounded: true},
 	"audit.lasm":      {caps: []sandbox.Capability{sandbox.CapClock, sandbox.CapCtx, sandbox.CapStore}, bounded: true},
 	"exfiltrate.lasm": {caps: []sandbox.Capability{sandbox.CapCtx, sandbox.CapNet}, bounded: true},
-	"announce.lasm":   {caps: []sandbox.Capability{sandbox.CapCtx, sandbox.CapLog}, bounded: false},
+	"announce.lasm":   {caps: []sandbox.Capability{sandbox.CapCtx, sandbox.CapLog}, bounded: true},
+	"launder.lasm":    {caps: []sandbox.Capability{sandbox.CapCtx, sandbox.CapNet, sandbox.CapStore}, bounded: true, flows: []string{"store->net"}},
 }
 
 func TestGoldenExampleCaps(t *testing.T) {
@@ -68,6 +70,13 @@ func TestGoldenExampleCaps(t *testing.T) {
 			}
 			if mr.Fuel.Bounded != want.bounded {
 				t.Errorf("fuel bounded = %v, want %v (steps %d)", mr.Fuel.Bounded, want.bounded, mr.Fuel.Steps)
+			}
+			var wantFlows []string
+			if want.flows != nil {
+				wantFlows = want.flows
+			}
+			if got := FlowRules(mr.Flows); !reflect.DeepEqual(got, wantFlows) {
+				t.Errorf("flows = %v, want %v", got, wantFlows)
 			}
 			if len(rep.Warnings) != 0 {
 				t.Errorf("example advice should have no warnings: %v", rep.Warnings)

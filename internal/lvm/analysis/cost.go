@@ -3,10 +3,11 @@ package analysis
 import "repro/internal/lvm"
 
 // Fuel is a static execution-cost verdict for one entry point. Bounded means
-// no loop and no recursion is reachable, and Steps is then an upper bound on
-// the interpreter steps one invocation can consume (each instruction costs
-// one step; calls add the callee's bound). Unbounded code falls back to the
-// interpreter's default budget.
+// every reachable cycle is a recognised constant-trip loop (see loops.go) and
+// no recursion is reachable; Steps is then an upper bound on the interpreter
+// steps one invocation can consume (each instruction costs one step, scaled
+// by its loop trip counts; calls add the callee's bound). Unbounded code
+// falls back to the interpreter's default budget.
 type Fuel struct {
 	Bounded bool
 	Steps   int
@@ -46,19 +47,25 @@ func (a *analyzer) fuelOf(m *lvm.Method) Fuel {
 	return f
 }
 
-// localFuel bounds one invocation of m. A cyclic CFG (counting exception
-// edges, which can loop through repeated throws) is unbounded. In an acyclic
-// CFG every block runs at most once per invocation, so the sum of all
-// instruction costs is a sound — if conservative — upper bound that needs no
-// path enumeration.
+// localFuel bounds one invocation of m. blockMultipliers says how many times
+// each block can execute: 1 everywhere for acyclic code, trip counts for
+// recognised constant-trip loops, and failure (→ Unbounded) for any other
+// cycle, including exception edges that can loop through repeated throws.
+// The sum of per-instruction costs scaled by their block's multiplier is a
+// sound — if conservative — upper bound that needs no path enumeration.
 func (a *analyzer) localFuel(m *lvm.Method) Fuel {
 	ti := a.types[m]
-	if ti == nil || ti.CFG.HasCycle() {
+	if ti == nil {
 		return Unbounded()
 	}
-	steps := 0
+	mult, ok := blockMultipliers(ti.CFG)
+	if !ok {
+		return Unbounded()
+	}
+	var steps int64
 	for pc, ins := range m.Code {
-		steps++
+		k := mult[ti.CFG.BlockOf(pc)]
+		steps += k
 		if ins.Op != lvm.OpCall {
 			continue
 		}
@@ -78,7 +85,13 @@ func (a *analyzer) localFuel(m *lvm.Method) Fuel {
 				worst = cf.Steps
 			}
 		}
-		steps += worst
+		steps += k * int64(worst)
+		if steps > maxFuelSteps {
+			return Unbounded()
+		}
 	}
-	return Fuel{Bounded: true, Steps: steps}
+	if steps > maxFuelSteps {
+		return Unbounded()
+	}
+	return Fuel{Bounded: true, Steps: int(steps)}
 }

@@ -12,6 +12,16 @@ type Host interface {
 	HostCall(name string, args []Value) (Value, error)
 }
 
+// PrecheckedHost is a Host that can prove, ahead of execution, that specific
+// functions need no per-dispatch policy check. Prechecked returns a Host to
+// dispatch fn through directly — skipping the wrapper's checks — or nil when
+// fn still requires the checked path. The interpreter and the JIT consult it
+// so statically-proven host calls bypass the capability gate entirely.
+type PrecheckedHost interface {
+	Host
+	Prechecked(fn string) Host
+}
+
 // HostMap is a simple Host backed by a map of named functions.
 type HostMap map[string]func(args []Value) (Value, error)
 
@@ -234,8 +244,14 @@ func (in *Interp) run(m *Method, self *Object, args []Value, steps *int64, depth
 				err = Throwf("no host environment for %s", ins.Sym)
 				break
 			}
+			host := in.Host
+			if ph, ok := host.(PrecheckedHost); ok {
+				if direct := ph.Prechecked(ins.Sym); direct != nil {
+					host = direct
+				}
+			}
 			var r Value
-			r, err = in.Host.HostCall(ins.Sym, callArgs)
+			r, err = host.HostCall(ins.Sym, callArgs)
 			if err == nil {
 				stack = append(stack, r)
 			}

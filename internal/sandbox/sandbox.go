@@ -134,10 +134,13 @@ func Allowlist(caps ...Capability) Policy {
 }
 
 // Host gates an underlying lvm.Host by capability, counting calls for
-// auditing.
+// auditing. Functions proven safe at admission time (Prove) are dispatched
+// straight to the inner host, skipping the capability check, the audit
+// mutex, and the call counter.
 type Host struct {
-	inner lvm.Host
-	perms Perms
+	inner  lvm.Host
+	perms  Perms
+	proven map[string]bool
 
 	mu    sync.Mutex
 	calls map[string]int
@@ -165,6 +168,34 @@ func (h *Host) HostCall(name string, args []lvm.Value) (lvm.Value, error) {
 	h.calls[name]++
 	h.mu.Unlock()
 	return h.inner.HostCall(name, args)
+}
+
+// Prove marks host functions as statically verified: admission analysis has
+// already shown each fn's capability is granted, so the per-dispatch check is
+// dead. Functions whose capability the permission set does NOT allow are
+// silently ignored — Prove can never widen what the host permits, only skip
+// re-checking what it would permit anyway. Call it once, after admission and
+// before execution; it is not safe concurrently with dispatch.
+func (h *Host) Prove(fns ...string) {
+	for _, fn := range fns {
+		if !h.perms.Allows(CapabilityOf(fn)) {
+			continue
+		}
+		if h.proven == nil {
+			h.proven = make(map[string]bool, len(fns))
+		}
+		h.proven[fn] = true
+	}
+}
+
+// Prechecked implements lvm.PrecheckedHost: proven functions dispatch
+// directly on the inner host. Note the fast path also skips the audit call
+// counter — CallCount only observes checked dispatches.
+func (h *Host) Prechecked(fn string) lvm.Host {
+	if h.proven[fn] {
+		return h.inner
+	}
+	return nil
 }
 
 // CallCount reports how many times the named host function was invoked.

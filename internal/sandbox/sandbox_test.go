@@ -170,3 +170,55 @@ func TestCapabilityOf(t *testing.T) {
 		}
 	}
 }
+
+func TestProveSkipsCheckAndCounting(t *testing.T) {
+	h := NewHost(baseHost(), NewPerms(CapStore))
+	h.Prove("store.put")
+	if direct := h.Prechecked("store.put"); direct == nil {
+		t.Fatal("proven function should have a direct host")
+	} else if _, err := direct.HostCall("store.put", nil); err != nil {
+		t.Fatalf("direct dispatch failed: %v", err)
+	}
+	// The fast path bypasses the audit counter by contract.
+	if h.CallCount("store.put") != 0 {
+		t.Error("direct dispatch must not touch the checked counter")
+	}
+	// Unproven functions stay on the checked path.
+	if h.Prechecked("log.info") != nil {
+		t.Error("unproven function should not get a direct host")
+	}
+}
+
+func TestProveCannotWidenGrant(t *testing.T) {
+	h := NewHost(baseHost(), NewPerms(CapStore))
+	h.Prove("net.post") // not granted: must be ignored, not proven
+	if h.Prechecked("net.post") != nil {
+		t.Fatal("Prove must refuse functions outside the grant")
+	}
+	_, err := h.HostCall("net.post", nil)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("ungranted call must still violate, got %v", err)
+	}
+}
+
+func TestInterpUsesPrecheckedFastPath(t *testing.T) {
+	prog := lvm.MustAssemble(`
+class C
+  method int m()
+    push "k"
+    hostcall store.put 1
+    ret
+  end
+end`)
+	h := NewHost(baseHost(), NewPerms(CapStore))
+	h.Prove("store.put")
+	in := lvm.NewInterp(prog, h)
+	v, err := in.Invoke(prog.Class("C").Methods["m"], nil, nil)
+	if err != nil || v.K != lvm.KBool {
+		t.Fatalf("invoke = %v, %v", v, err)
+	}
+	if h.CallCount("store.put") != 0 {
+		t.Error("interpreter took the checked path for a proven call")
+	}
+}

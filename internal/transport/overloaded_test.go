@@ -82,7 +82,7 @@ func TestOverloadedEnvelopeGolden(t *testing.T) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 
-	if _, err := conn.Write([]byte{0x00, 0xC6, 0x01}); err != nil {
+	if _, err := conn.Write([]byte{0x00, 0xC6, wire.Version}); err != nil {
 		t.Fatal(err)
 	}
 	br := bufio.NewReader(conn)

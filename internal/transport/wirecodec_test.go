@@ -230,7 +230,7 @@ func TestTCPWireEnvelopeLayout(t *testing.T) {
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 
 	// Preface and ack, as raw bytes.
-	if _, err := conn.Write([]byte{0x00, 0xC6, 0x01}); err != nil {
+	if _, err := conn.Write([]byte{0x00, 0xC6, wire.Version}); err != nil {
 		t.Fatal(err)
 	}
 	br := bufio.NewReader(conn)
@@ -238,8 +238,8 @@ func TestTCPWireEnvelopeLayout(t *testing.T) {
 	if _, err := io.ReadFull(br, ack[:]); err != nil {
 		t.Fatal(err)
 	}
-	if ack != [2]byte{0xC6, 0x01} {
-		t.Fatalf("ack = %#v, want [0xC6, 0x01]", ack)
+	if ack != [2]byte{0xC6, wire.Version} {
+		t.Fatalf("ack = %#v, want [0xC6, wire.Version]", ack)
 	}
 
 	// Request envelope, assembled by hand. The body is the wire frame for

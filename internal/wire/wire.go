@@ -32,8 +32,10 @@ import (
 
 // Version is the wire-format version emitted by this build. Decoders accept
 // exactly this version; bumping it is a format change and must come with new
-// golden vectors.
-const Version = 1
+// golden vectors. Version 2 added Extension.Flows (declared information-flow
+// rules) between Caps and Meta; version-1 peers interoperate through the gob
+// fallback, which the transport negotiates per type.
+const Version = 2
 
 // Magic is the second frame-header byte. The TCP fabric reuses it in its
 // codec-negotiation ack.
